@@ -1,0 +1,108 @@
+// Command abdhfl-model trains a global model with ABD-HFL and manages model
+// checkpoints in the library's binary format:
+//
+//	abdhfl-model -train -o global.abd          # run a scenario, save the model
+//	abdhfl-model -inspect global.abd           # print shape and norm
+//	abdhfl-model -eval global.abd -samples 500 # accuracy on a fresh test set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abdhfl"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+func main() {
+	var (
+		train   = flag.Bool("train", false, "run a federated training scenario and save the final global model")
+		inspect = flag.String("inspect", "", "print shape/statistics of a saved model")
+		eval    = flag.String("eval", "", "evaluate a saved model on a fresh synthetic test set")
+		out     = flag.String("o", "global.abd", "output path for -train")
+		rounds  = flag.Int("rounds", 30, "training rounds for -train")
+		samples = flag.Int("samples", 500, "test samples for -eval")
+		mal     = flag.Float64("malicious", 0, "malicious proportion for -train (Type I)")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *train:
+		doTrain(*out, *rounds, *mal, *seed)
+	case *inspect != "":
+		doInspect(*inspect)
+	case *eval != "":
+		doEval(*eval, *samples, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doTrain(out string, rounds int, mal float64, seed uint64) {
+	s := abdhfl.Scenario{
+		Rounds:            rounds,
+		SamplesPerClient:  150,
+		MaliciousFraction: mal,
+		Seed:              seed,
+		EvalEvery:         rounds,
+	}
+	if mal > 0 {
+		s.Attack = abdhfl.AttackType1
+	}
+	res, err := abdhfl.Run(s.WithDefaults())
+	if err != nil {
+		fatal(err)
+	}
+	m := nn.New(rng.New(1), dataset.Dim, 32, dataset.NumClasses)
+	m.SetParams(res.FinalParams)
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if _, err := m.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained %d rounds, final accuracy %.1f%%, model saved to %s\n",
+		rounds, 100*res.FinalAccuracy, out)
+}
+
+func loadModel(path string) *nn.Model {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	m, err := nn.ReadModel(f)
+	if err != nil {
+		fatal(err)
+	}
+	return m
+}
+
+func doInspect(path string) {
+	m := loadModel(path)
+	fmt.Printf("layers:      %v\n", m.Sizes)
+	fmt.Printf("parameters:  %d\n", m.NumParams())
+	fmt.Printf("param norm:  %.4f\n", tensor.Norm2(m.Params()))
+}
+
+func doEval(path string, samples int, seed uint64) {
+	m := loadModel(path)
+	if len(m.Sizes) == 0 || m.Sizes[0] != dataset.Dim {
+		fatal(fmt.Errorf("model input width %d does not match dataset dim %d", m.Sizes[0], dataset.Dim))
+	}
+	test := dataset.Generate(rng.New(seed).Derive("test"), samples, dataset.DefaultGen())
+	fmt.Printf("accuracy on %d fresh samples: %.1f%%\n", samples, 100*nn.Accuracy(m, test))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abdhfl-model:", err)
+	os.Exit(1)
+}

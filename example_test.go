@@ -1,0 +1,45 @@
+package abdhfl_test
+
+import (
+	"fmt"
+	"os"
+
+	"abdhfl"
+)
+
+// The Theorem 2 tolerance bound of the paper's evaluation topology: a
+// 3-level tree with γ1 = γ2 = 25% tolerates 57.8125% Byzantine clients at
+// the bottom.
+func ExampleTheoreticalBound() {
+	bound := abdhfl.TheoreticalBound(abdhfl.Scenario{})
+	fmt.Printf("%.4f%%\n", 100*bound)
+	// Output: 57.8125%
+}
+
+// Zero-valued fields are filled with the paper's Appendix D settings.
+func ExampleScenario_WithDefaults() {
+	s := abdhfl.Scenario{MaliciousFraction: 0.5}.WithDefaults()
+	fmt.Println(s.Clients(), "clients")
+	fmt.Println(s.Aggregator, "+", s.TopProtocol)
+	fmt.Println(s.Rounds, "rounds,", s.LocalIters, "local iterations")
+	// Output:
+	// 64 clients
+	// multi-krum + voting
+	// 200 rounds, 5 local iterations
+}
+
+// Scenarios round-trip through JSON for reproducible experiment configs.
+func ExampleWriteScenario() {
+	s := abdhfl.Scenario{
+		Attack:            abdhfl.AttackType1,
+		MaliciousFraction: 0.5,
+		Rounds:            60,
+	}
+	_ = abdhfl.WriteScenario(os.Stdout, s)
+	// Output:
+	// {
+	//   "attack": "type1",
+	//   "malicious_fraction": 0.5,
+	//   "rounds": 60
+	// }
+}

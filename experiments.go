@@ -1,0 +1,57 @@
+package abdhfl
+
+import (
+	"abdhfl/internal/core"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/topology"
+)
+
+// Repeats runs fn for seeds 1..n and aggregates the accuracy curves into a
+// mean ± 95% CI series (the paper reports the average of five repeated
+// runs). fn receives the engine seed of the repeat.
+func Repeats(name string, n int, fn func(seed uint64) (*core.Result, error)) (metrics.Series, error) {
+	curves := make([]metrics.Curve, 0, n)
+	for i := 0; i < n; i++ {
+		res, err := fn(uint64(i + 1))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		var c metrics.Curve
+		for _, p := range res.Curve {
+			c.Rounds = append(c.Rounds, p.Round)
+			c.Values = append(c.Values, p.Accuracy)
+		}
+		curves = append(curves, c)
+	}
+	return metrics.Aggregate(name, curves), nil
+}
+
+// TheoreticalBound returns the Theorem 2 maximum tolerated Byzantine
+// proportion at the scenario's bottom level with γ1 = γ2 = 25% — the
+// paper's §V-A setting (57.8125% for the default 3-level tree).
+func TheoreticalBound(s Scenario) float64 {
+	s = s.WithDefaults()
+	tol := topology.Tolerance{Gamma1: 0.25, Gamma2: 0.25}
+	return tol.BottomBound(s.Levels)
+}
+
+// PaperScenario returns the evaluation configuration of the paper's
+// Appendix D (Table VII): 3 levels, cluster size 4, 4 top nodes, 64 clients,
+// 200 global rounds, 5 local iterations, MultiKrum partial aggregation and
+// validation-voting global consensus. The per-client sample count is scaled
+// down from MNIST's 937 (see DESIGN.md substitutions).
+func PaperScenario() Scenario {
+	return Scenario{}.WithDefaults()
+}
+
+// QuickScenario is a reduced configuration for smoke tests and examples:
+// the same topology with fewer rounds and samples.
+func QuickScenario() Scenario {
+	return Scenario{
+		Rounds:            30,
+		SamplesPerClient:  100,
+		TestSamples:       600,
+		ValidationSamples: 400,
+		EvalEvery:         5,
+	}.WithDefaults()
+}

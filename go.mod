@@ -1,0 +1,3 @@
+module abdhfl
+
+go 1.22

@@ -1,0 +1,131 @@
+// Package aggregate implements the Byzantine-robust aggregation (BRA) rules
+// of the paper's Table II: plain/weighted federated averaging, Krum and
+// MultiKrum (Euclidean distance), coordinate Median and TrimmedMean (mean
+// value / median), geometric median (GeoMed), Centered Clipping, and
+// cosine-similarity clustering. All rules consume flat parameter vectors (see
+// nn.Model.Params) and implement a single Aggregator interface so any level
+// of the ABD-HFL tree can be configured with any rule.
+package aggregate
+
+import (
+	"errors"
+	"fmt"
+
+	"abdhfl/internal/tensor"
+)
+
+// ErrNoUpdates is returned when an aggregation rule receives zero updates.
+var ErrNoUpdates = errors.New("aggregate: no updates to aggregate")
+
+// Aggregator combines parameter vectors into one. Implementations must not
+// modify the input vectors.
+type Aggregator interface {
+	// Name identifies the rule in configs and reports.
+	Name() string
+	// Aggregate returns the combined vector. Implementations return an error
+	// (never panic) when the update set violates the rule's preconditions,
+	// because in the asynchronous protocol a malformed quorum is an expected
+	// runtime condition, not a programming error.
+	Aggregate(updates []tensor.Vector) (tensor.Vector, error)
+}
+
+func checkUpdates(updates []tensor.Vector) error {
+	if len(updates) == 0 {
+		return ErrNoUpdates
+	}
+	dim := len(updates[0])
+	for i, u := range updates {
+		if len(u) != dim {
+			return fmt.Errorf("aggregate: update %d has dim %d, want %d", i, len(u), dim)
+		}
+		if !tensor.AllFinite(u) {
+			return fmt.Errorf("aggregate: update %d contains non-finite values", i)
+		}
+	}
+	return nil
+}
+
+// Mean is plain federated averaging (FedAvg). It has no Byzantine tolerance:
+// a single malicious update can move the aggregate arbitrarily, which is the
+// baseline the robust rules are compared against.
+type Mean struct{}
+
+// Name implements Aggregator.
+func (Mean) Name() string { return "mean" }
+
+// Aggregate implements Aggregator.
+func (Mean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	return tensor.Mean(tensor.NewVector(len(updates[0])), updates), nil
+}
+
+// Median is the coordinate-wise median rule of Yin et al. (2018).
+type Median struct{}
+
+// Name implements Aggregator.
+func (Median) Name() string { return "median" }
+
+// Aggregate implements Aggregator.
+func (Median) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	return tensor.CoordinateMedian(tensor.NewVector(len(updates[0])), updates), nil
+}
+
+// TrimmedMean is the coordinate-wise trimmed mean of Yin et al. (2018),
+// removing TrimFraction of the updates at each extreme per coordinate.
+type TrimmedMean struct {
+	// TrimFraction in [0, 0.5); the number trimmed per side is
+	// floor(TrimFraction * n), at least 1 when TrimFraction > 0 and n > 2.
+	TrimFraction float64
+}
+
+// Name implements Aggregator.
+func (a TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(%.2f)", a.TrimFraction) }
+
+// Aggregate implements Aggregator.
+func (a TrimmedMean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	trim := int(a.TrimFraction * float64(n))
+	if a.TrimFraction > 0 && trim == 0 && n > 2 {
+		trim = 1
+	}
+	if 2*trim >= n {
+		return nil, fmt.Errorf("aggregate: trimmed mean would remove all %d updates (trim %d per side)", n, trim)
+	}
+	return tensor.CoordinateTrimmedMean(tensor.NewVector(len(updates[0])), updates, trim), nil
+}
+
+// GeoMed aggregates by the geometric median (Chen et al. 2017), computed via
+// Weiszfeld's iteration.
+type GeoMed struct {
+	// Tol and MaxIter bound the Weiszfeld iteration; zero values select
+	// 1e-8 and 200.
+	Tol     float64
+	MaxIter int
+}
+
+// Name implements Aggregator.
+func (GeoMed) Name() string { return "geomed" }
+
+// Aggregate implements Aggregator.
+func (a GeoMed) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	tol := a.Tol
+	if tol == 0 {
+		tol = 1e-8
+	}
+	maxIter := a.MaxIter
+	if maxIter == 0 {
+		maxIter = 200
+	}
+	return tensor.GeometricMedian(tensor.NewVector(len(updates[0])), updates, tol, maxIter), nil
+}

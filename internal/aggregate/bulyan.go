@@ -1,0 +1,106 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"abdhfl/internal/tensor"
+)
+
+// Bulyan is the two-stage rule of El Mhamdi et al. (2018): first a Krum-
+// based selection repeatedly picks the best-scored update until n-2f remain,
+// then a coordinate-wise trimmed average keeps, per coordinate, the
+// |S|-2f values closest to the coordinate median. It combines Krum's
+// geometric filtering with TrimmedMean's per-coordinate robustness and
+// defends against attacks (like ALE) that hide inside a single metric.
+type Bulyan struct {
+	// F is the assumed Byzantine count; FFraction the assumed fraction
+	// (the effective f is max(F, floor(FFraction*n))).
+	F         int
+	FFraction float64
+}
+
+// Name implements Aggregator.
+func (Bulyan) Name() string { return "bulyan" }
+
+// Aggregate implements Aggregator.
+func (a Bulyan) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	f := a.F
+	if ff := int(a.FFraction * float64(n)); ff > f {
+		f = ff
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("aggregate: bulyan with negative f")
+	}
+	if n == 1 {
+		return updates[0].Clone(), nil
+	}
+	// Stage 1: iterated Krum selection of n-2f updates. With small quorums
+	// clamp the selection count to at least 1 so tiny clusters stay
+	// servable (mirroring the Krum fallback).
+	selCount := n - 2*f
+	if selCount < 1 {
+		selCount = 1
+	}
+	remaining := make([]tensor.Vector, n)
+	copy(remaining, updates)
+	var selected []tensor.Vector
+	for len(selected) < selCount {
+		k := len(remaining) - f - 2
+		if k < 1 {
+			k = 1
+		}
+		if len(remaining) == 1 {
+			selected = append(selected, remaining[0])
+			break
+		}
+		scores := krumScores(remaining, k)
+		best := 0
+		for i := range scores {
+			if scores[i] < scores[best] {
+				best = i
+			}
+		}
+		selected = append(selected, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	// Stage 2: per coordinate, average the beta values closest to the
+	// median of the selected set.
+	beta := len(selected) - 2*f
+	if beta < 1 {
+		beta = 1
+	}
+	dim := len(updates[0])
+	out := tensor.NewVector(dim)
+	col := make([]float64, len(selected))
+	for j := 0; j < dim; j++ {
+		for i, v := range selected {
+			col[i] = v[j]
+		}
+		med := tensor.Median(col)
+		sort.Slice(col, func(x, y int) bool {
+			dx, dy := col[x]-med, col[y]-med
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			return dx < dy
+		})
+		s := 0.0
+		for _, v := range col[:beta] {
+			s += v
+		}
+		out[j] = s / float64(beta)
+	}
+	return out, nil
+}
+
+func init() {
+	registry["bulyan"] = func() Aggregator { return Bulyan{FFraction: 0.25} }
+}

@@ -1,0 +1,208 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"abdhfl/internal/tensor"
+)
+
+// CenteredClipping is the CC rule of Karimireddy et al. (2021): starting
+// from a robust reference point, repeatedly move towards the mean of the
+// updates with each deviation clipped to radius Tau. The clipping bounds how
+// far any single Byzantine update can drag the aggregate per iteration.
+type CenteredClipping struct {
+	// Tau is the clipping radius. Zero selects an adaptive radius: the
+	// median distance from the reference to the updates.
+	Tau float64
+	// Iterations of the clip-and-average loop; zero selects 3.
+	Iterations int
+}
+
+// Name implements Aggregator.
+func (CenteredClipping) Name() string { return "centered-clipping" }
+
+// Aggregate implements Aggregator.
+func (a CenteredClipping) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	iters := a.Iterations
+	if iters == 0 {
+		iters = 3
+	}
+	dim := len(updates[0])
+	// Robust start: coordinate median.
+	v := tensor.CoordinateMedian(tensor.NewVector(dim), updates)
+	diff := tensor.NewVector(dim)
+	step := tensor.NewVector(dim)
+	for it := 0; it < iters; it++ {
+		tau := a.Tau
+		if tau == 0 {
+			dists := make([]float64, len(updates))
+			for i, u := range updates {
+				dists[i] = tensor.Distance(v, u)
+			}
+			tau = tensor.Median(dists)
+			if tau == 0 {
+				break // all updates coincide with the reference
+			}
+		}
+		tensor.Fill(step, 0)
+		for _, u := range updates {
+			tensor.Sub(diff, u, v)
+			tensor.Clip(diff, tau)
+			tensor.Axpy(step, 1/float64(len(updates)), diff)
+		}
+		tensor.Add(v, v, step)
+	}
+	return v, nil
+}
+
+// CosineClustering follows the clustered-FL defence of Sattler et al.
+// (2020): updates are grouped by pairwise cosine similarity with
+// single-linkage clustering at threshold MinSimilarity, and the mean of the
+// largest cluster is returned — the assumption being that honest updates
+// point in broadly the same direction while attacks form their own, smaller
+// cluster.
+type CosineClustering struct {
+	// MinSimilarity is the cosine threshold for two updates to be linked;
+	// zero selects 0.
+	MinSimilarity float64
+}
+
+// Name implements Aggregator.
+func (CosineClustering) Name() string { return "cosine-clustering" }
+
+// Aggregate implements Aggregator.
+func (a CosineClustering) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	labels := a.clusterLabels(updates)
+	// Find the largest cluster; break ties towards the cluster whose members
+	// have the smaller mean norm (attacks typically inflate norms).
+	counts := map[int]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	type cand struct {
+		label, count int
+		meanNorm     float64
+	}
+	var cands []cand
+	for l, c := range counts {
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			if labels[i] == l {
+				norm += tensor.Norm2(updates[i])
+			}
+		}
+		cands = append(cands, cand{l, c, norm / float64(c)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].count != cands[j].count {
+			return cands[i].count > cands[j].count
+		}
+		return cands[i].meanNorm < cands[j].meanNorm
+	})
+	best := cands[0].label
+	var members []tensor.Vector
+	for i := 0; i < n; i++ {
+		if labels[i] == best {
+			members = append(members, updates[i])
+		}
+	}
+	return tensor.Mean(tensor.NewVector(len(updates[0])), members), nil
+}
+
+// clusterLabels performs single-linkage clustering: i and j share a label
+// when a chain of pairs with cosine similarity above the threshold connects
+// them (union-find over the similarity graph).
+func (a CosineClustering) clusterLabels(updates []tensor.Vector) []int {
+	n := len(updates)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if tensor.CosineSimilarity(updates[i], updates[j]) >= a.MinSimilarity {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = find(i)
+	}
+	return labels
+}
+
+// Clusters returns the clusters CosineClustering would form, largest first;
+// exposed for analysis tools and tests.
+func (a CosineClustering) Clusters(updates []tensor.Vector) ([][]int, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	labels := a.clusterLabels(updates)
+	groups := map[int][]int{}
+	for i, l := range labels {
+		groups[l] = append(groups[l], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i][0] < out[j][0]
+	})
+	return out, nil
+}
+
+// registry of aggregators constructible by name, for CLI tools and configs.
+var registry = map[string]func() Aggregator{
+	"mean":              func() Aggregator { return Mean{} },
+	"median":            func() Aggregator { return Median{} },
+	"trimmed-mean":      func() Aggregator { return TrimmedMean{TrimFraction: 0.25} },
+	"geomed":            func() Aggregator { return GeoMed{} },
+	"krum":              func() Aggregator { return Krum{FFraction: 0.25, M: 1} },
+	"multi-krum":        func() Aggregator { return Krum{FFraction: 0.25} },
+	"centered-clipping": func() Aggregator { return CenteredClipping{} },
+	"cosine-clustering": func() Aggregator { return CosineClustering{} },
+}
+
+// ByName returns a default-configured aggregator for the given registry
+// name, or an error listing the known names.
+func ByName(name string) (Aggregator, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("aggregate: unknown rule %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names returns the sorted registry names.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

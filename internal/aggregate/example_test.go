@@ -1,0 +1,35 @@
+package aggregate_test
+
+import (
+	"fmt"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/tensor"
+)
+
+// The coordinate median ignores a massive outlier that would drag the mean
+// arbitrarily far.
+func ExampleMedian_Aggregate() {
+	updates := []tensor.Vector{
+		{1.0, 1.0}, {1.1, 0.9}, {0.9, 1.1}, {1.0, 1.0}, {1e9, -1e9},
+	}
+	med, _ := aggregate.Median{}.Aggregate(updates)
+	mean, _ := aggregate.Mean{}.Aggregate(updates)
+	fmt.Printf("median: [%.2f %.2f]\n", med[0], med[1])
+	fmt.Printf("mean dragged to ~%.0e\n", mean[0])
+	// Output:
+	// median: [1.00 1.00]
+	// mean dragged to ~2e+08
+}
+
+// MultiKrum selects the mutually-closest updates and averages them,
+// excluding the planted outliers entirely.
+func ExampleKrum_Aggregate() {
+	updates := []tensor.Vector{
+		{1.0}, {1.01}, {0.99}, {1.02}, {-50}, {-50},
+	}
+	mk := aggregate.Krum{F: 2}
+	out, _ := mk.Aggregate(updates)
+	fmt.Printf("%.2f\n", out[0])
+	// Output: 1.00
+}

@@ -1,0 +1,149 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"abdhfl/internal/tensor"
+)
+
+// Krum is the rule of Blanchard et al. (2017). Each update is scored by the
+// sum of its n-f-2 smallest squared distances to the other updates; Krum
+// selects the single lowest-scored update, MultiKrum (M > 1) averages the M
+// lowest-scored ones.
+//
+// F may be given either as an absolute count (F >= 1) or, matching the
+// paper's "assumed proportion of malicious nodes in Krum's algorithm set to
+// 25%", as a fraction via FFraction; the effective f is
+// max(F, floor(FFraction*n)).
+type Krum struct {
+	F         int     // assumed number of Byzantine updates
+	FFraction float64 // assumed Byzantine fraction of n (paper: 0.25)
+	M         int     // updates averaged; 1 = classic Krum, >1 = MultiKrum
+}
+
+// NewMultiKrum returns the MultiKrum configuration used by the paper's IID
+// experiments: assumed Byzantine fraction frac, averaging all selected
+// updates (m = n - f at aggregation time when M is 0).
+func NewMultiKrum(frac float64) Krum { return Krum{FFraction: frac} }
+
+// Name implements Aggregator.
+func (a Krum) Name() string {
+	if a.M == 1 {
+		return "krum"
+	}
+	return "multi-krum"
+}
+
+// Aggregate implements Aggregator.
+func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	f := a.F
+	if ff := int(a.FFraction * float64(n)); ff > f {
+		f = ff
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("aggregate: krum with negative f")
+	}
+	// Krum's score needs n-f-2 >= 1 neighbours. With tiny quorums (n <= f+2)
+	// fall back to nearest-neighbour scoring (k = 1) so small clusters — the
+	// paper's cluster size is 4 — remain servable; the selection property
+	// (an update surrounded by honest peers wins) is preserved.
+	k := n - f - 2
+	if k < 1 {
+		k = 1
+	}
+	if n == 1 {
+		return updates[0].Clone(), nil
+	}
+	scores := krumScores(updates, k)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
+
+	m := a.M
+	if m == 0 {
+		m = n - f // MultiKrum default: average all presumed-honest updates
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	if m == 1 {
+		return updates[order[0]].Clone(), nil
+	}
+	chosen := make([]tensor.Vector, m)
+	for i := 0; i < m; i++ {
+		chosen[i] = updates[order[i]]
+	}
+	return tensor.Mean(tensor.NewVector(len(updates[0])), chosen), nil
+}
+
+// krumScores returns, for each update, the sum of its k smallest squared
+// distances to the other updates.
+func krumScores(updates []tensor.Vector, k int) []float64 {
+	n := len(updates)
+	d := tensor.PairwiseSquaredDistances(updates)
+	scores := make([]float64, n)
+	row := make([]float64, 0, n-1)
+	for i := 0; i < n; i++ {
+		row = row[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				row = append(row, d[i][j])
+			}
+		}
+		sort.Float64s(row)
+		kk := k
+		if kk > len(row) {
+			kk = len(row)
+		}
+		s := 0.0
+		for _, v := range row[:kk] {
+			s += v
+		}
+		scores[i] = s
+	}
+	return scores
+}
+
+// Selected returns the indices MultiKrum would average for the given update
+// set, in score order. It is exposed for analysis tools and tests.
+func (a Krum) Selected(updates []tensor.Vector) ([]int, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	f := a.F
+	if ff := int(a.FFraction * float64(n)); ff > f {
+		f = ff
+	}
+	k := n - f - 2
+	if k < 1 {
+		k = 1
+	}
+	scores := krumScores(updates, k)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
+	m := a.M
+	if m == 0 {
+		m = n - f
+	}
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	return order[:m], nil
+}

@@ -1,0 +1,48 @@
+package aggregate
+
+import (
+	"abdhfl/internal/tensor"
+)
+
+// NormBound is the norm-clipping defence (the "Clipping" strategy row of
+// Table II in its simplest form, as used by FLTrust-style systems): every
+// update's Euclidean norm is clipped to Factor times the median update norm
+// before plain averaging. It cannot exclude direction-poisoned updates, but
+// it bounds how much any single member can move the aggregate — a cheap
+// first line of defence often composed with other rules.
+type NormBound struct {
+	// Factor scales the median norm to the clipping radius; zero selects 1.
+	Factor float64
+}
+
+// Name implements Aggregator.
+func (NormBound) Name() string { return "norm-bound" }
+
+// Aggregate implements Aggregator.
+func (a NormBound) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	factor := a.Factor
+	if factor == 0 {
+		factor = 1
+	}
+	norms := make([]float64, len(updates))
+	for i, u := range updates {
+		norms[i] = tensor.Norm2(u)
+	}
+	radius := factor * tensor.Median(norms)
+	clipped := make([]tensor.Vector, len(updates))
+	for i, u := range updates {
+		c := u.Clone()
+		if radius > 0 {
+			tensor.Clip(c, radius)
+		}
+		clipped[i] = c
+	}
+	return tensor.Mean(tensor.NewVector(len(updates[0])), clipped), nil
+}
+
+func init() {
+	registry["norm-bound"] = func() Aggregator { return NormBound{} }
+}

@@ -1,0 +1,209 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+func sampleSet(seed uint64, n int) *dataset.Dataset {
+	return dataset.Generate(rng.New(seed), n, dataset.DefaultGen())
+}
+
+func TestLabelFlipAll(t *testing.T) {
+	d := sampleSet(1, 100)
+	LabelFlipAll{Target: 9}.Poison(rng.New(2), d)
+	for i, y := range d.Y {
+		if y != 9 {
+			t.Fatalf("sample %d label %d, want 9", i, y)
+		}
+	}
+}
+
+func TestLabelFlipAllPreservesFeatures(t *testing.T) {
+	d := sampleSet(1, 10)
+	before := d.X[0].Clone()
+	LabelFlipAll{Target: 9}.Poison(rng.New(2), d)
+	for i := range before {
+		if d.X[0][i] != before[i] {
+			t.Fatal("Type I attack must not modify features")
+		}
+	}
+}
+
+func TestLabelFlipRandomChangesDistribution(t *testing.T) {
+	d := sampleSet(3, 2000)
+	LabelFlipRandom{}.Poison(rng.New(4), d)
+	h := d.LabelHistogram()
+	for c, n := range h {
+		// Uniform over 10 classes: expect ~200, allow wide slack.
+		if n < 100 || n > 300 {
+			t.Fatalf("class %d count %d not near uniform", c, n)
+		}
+	}
+}
+
+func TestFeatureNoiseChangesFeaturesNotLabels(t *testing.T) {
+	d := sampleSet(5, 20)
+	labels := append([]int(nil), d.Y...)
+	x0 := d.X[0].Clone()
+	FeatureNoise{Stddev: 1}.Poison(rng.New(6), d)
+	for i := range labels {
+		if d.Y[i] != labels[i] {
+			t.Fatal("feature noise must not touch labels")
+		}
+	}
+	if tensor.Distance(d.X[0], x0) == 0 {
+		t.Fatal("feature noise did not change features")
+	}
+}
+
+func TestBackdoorTrigger(t *testing.T) {
+	d := sampleSet(7, 50)
+	bd := DefaultBackdoor()
+	bd.Poison(rng.New(8), d)
+	for i := range d.Y {
+		if d.Y[i] != bd.Target {
+			t.Fatalf("sample %d not relabelled", i)
+		}
+	}
+	// Trigger patch present at top-left.
+	for r := 0; r < bd.PatchSize; r++ {
+		for c := 0; c < bd.PatchSize; c++ {
+			if d.X[0][r*dataset.Side+c] != bd.Value {
+				t.Fatal("trigger patch missing")
+			}
+		}
+	}
+}
+
+func TestSignFlip(t *testing.T) {
+	honest := tensor.Vector{1, -2, 3}
+	out := SignFlip{Scale: 2}.Apply(rng.New(1), honest, nil, nil)
+	want := tensor.Vector{-2, 4, -6}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("SignFlip = %v", out)
+		}
+	}
+	// Default scale 1.
+	out = SignFlip{}.Apply(rng.New(1), honest, nil, nil)
+	if out[0] != -1 {
+		t.Fatalf("default SignFlip = %v", out)
+	}
+	if honest[0] != 1 {
+		t.Fatal("SignFlip mutated the honest update")
+	}
+}
+
+func TestGaussianNoiseLargeDeviation(t *testing.T) {
+	honest := tensor.NewVector(100)
+	out := GaussianNoise{Stddev: 10}.Apply(rng.New(2), honest, nil, nil)
+	if tensor.Distance(out, honest) < 10 {
+		t.Fatal("noise attack barely moved the update")
+	}
+}
+
+func TestALEHidesWithinStd(t *testing.T) {
+	mean := tensor.Vector{1, 1, 1}
+	std := tensor.Vector{0.1, 0.2, 0.3}
+	out := ALE{Z: 1.5}.Apply(rng.New(3), nil, mean, std)
+	for i := range out {
+		want := mean[i] - 1.5*std[i]
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("ALE[%d] = %v, want %v", i, out[i], want)
+		}
+	}
+	// Nil std degrades to the mean.
+	out = ALE{Z: 1.5}.Apply(rng.New(3), nil, mean, nil)
+	for i := range out {
+		if out[i] != mean[i] {
+			t.Fatal("ALE with nil std should return the mean")
+		}
+	}
+}
+
+func TestIPMNegativeInnerProduct(t *testing.T) {
+	mean := tensor.Vector{1, 2, 3}
+	out := IPM{Epsilon: 0.5}.Apply(rng.New(4), nil, mean, nil)
+	if ip := tensor.Dot(out, mean); ip >= 0 {
+		t.Fatalf("IPM inner product = %v, want negative", ip)
+	}
+}
+
+func TestPopulationStats(t *testing.T) {
+	honest := []tensor.Vector{{0, 2}, {2, 2}, {4, 2}}
+	mean, std := PopulationStats(honest)
+	if mean[0] != 2 || mean[1] != 2 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if math.Abs(std[0]-math.Sqrt(8.0/3.0)) > 1e-12 {
+		t.Fatalf("std[0] = %v", std[0])
+	}
+	if std[1] != 0 {
+		t.Fatalf("std[1] = %v", std[1])
+	}
+}
+
+func TestPopulationStatsSingle(t *testing.T) {
+	mean, std := PopulationStats([]tensor.Vector{{5, 7}})
+	if mean[0] != 5 || mean[1] != 7 || std[0] != 0 || std[1] != 0 {
+		t.Fatal("single-member stats wrong")
+	}
+}
+
+func TestAttackNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range []string{
+		LabelFlipAll{}.Name(), LabelFlipRandom{}.Name(), FeatureNoise{}.Name(),
+		BackdoorTrigger{}.Name(), SignFlip{}.Name(), GaussianNoise{}.Name(),
+		ALE{}.Name(), IPM{}.Name(),
+	} {
+		if names[n] {
+			t.Fatalf("duplicate attack name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestBackdoorSuccessRate(t *testing.T) {
+	// Train one model on clean data and one on fully backdoored data; the
+	// poisoned model must have a far higher trigger success rate.
+	r := rng.New(31)
+	gen := dataset.DefaultGen()
+	clean := dataset.Generate(r.Derive("clean"), 1500, gen)
+	test := dataset.Generate(r.Derive("test"), 600, gen)
+	bd := DefaultBackdoor()
+
+	poisoned := clean.Clone()
+	bd.Poison(r.Derive("poison"), poisoned)
+
+	cfg := nn.TrainConfig{LearningRate: 0.1, BatchSize: 32, Iterations: 400}
+	cleanModel := nn.New(r.Derive("m1"), dataset.Dim, 24, dataset.NumClasses)
+	nn.SGD(cleanModel, clean, cfg, r.Derive("t1"))
+	badModel := nn.New(r.Derive("m2"), dataset.Dim, 24, dataset.NumClasses)
+	nn.SGD(badModel, poisoned, cfg, r.Derive("t2"))
+
+	cleanRate := BackdoorSuccessRate(cleanModel, test, bd)
+	badRate := BackdoorSuccessRate(badModel, test, bd)
+	if badRate < 0.8 {
+		t.Fatalf("backdoored model trigger rate = %v, want > 0.8", badRate)
+	}
+	if cleanRate > 0.5 {
+		t.Fatalf("clean model trigger rate = %v, too high", cleanRate)
+	}
+	if badRate <= cleanRate {
+		t.Fatal("backdoor had no effect")
+	}
+}
+
+func TestBackdoorSuccessRateEmptyTest(t *testing.T) {
+	m := nn.New(rng.New(1), dataset.Dim, 8, dataset.NumClasses)
+	if r := BackdoorSuccessRate(m, &dataset.Dataset{}, DefaultBackdoor()); r != 0 {
+		t.Fatalf("empty test rate = %v", r)
+	}
+}

@@ -1,0 +1,105 @@
+// Package attack implements the Byzantine attack taxonomy of the paper's
+// Table I: data-poisoning attacks that corrupt a client's training set
+// (label flipping, feature noise, backdoor triggers) and model-update
+// attacks that corrupt the parameter vector a client submits for aggregation
+// (sign flip, Gaussian noise, A-Little-Is-Enough, Inner-Product
+// Manipulation).
+package attack
+
+import (
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/rng"
+)
+
+// DataPoison corrupts a training dataset in place.
+type DataPoison interface {
+	// Name identifies the attack in experiment reports.
+	Name() string
+	// Poison corrupts d in place using randomness from r.
+	Poison(r *rng.RNG, d *dataset.Dataset)
+}
+
+// LabelFlipAll is the paper's data-poisoning "Type I" attack: every training
+// label is set to Target (9 in the evaluation).
+type LabelFlipAll struct {
+	Target int
+}
+
+// Name implements DataPoison.
+func (a LabelFlipAll) Name() string { return "label-flip-all" }
+
+// Poison implements DataPoison.
+func (a LabelFlipAll) Poison(_ *rng.RNG, d *dataset.Dataset) {
+	for i := range d.Y {
+		d.Y[i] = a.Target
+	}
+}
+
+// LabelFlipRandom is the paper's data-poisoning "Type II" attack: every
+// training label is replaced by a uniformly random class in [0, NumClasses).
+type LabelFlipRandom struct{}
+
+// Name implements DataPoison.
+func (LabelFlipRandom) Name() string { return "label-flip-random" }
+
+// Poison implements DataPoison.
+func (LabelFlipRandom) Poison(r *rng.RNG, d *dataset.Dataset) {
+	for i := range d.Y {
+		d.Y[i] = r.Intn(dataset.NumClasses)
+	}
+}
+
+// FeatureNoise adds Gaussian noise of the given standard deviation to every
+// training sample (the "Noise" row of Table I's dataset attacks).
+type FeatureNoise struct {
+	Stddev float64
+}
+
+// Name implements DataPoison.
+func (a FeatureNoise) Name() string { return "feature-noise" }
+
+// Poison implements DataPoison.
+func (a FeatureNoise) Poison(r *rng.RNG, d *dataset.Dataset) {
+	for _, x := range d.X {
+		for i := range x {
+			x[i] += a.Stddev * r.NormFloat64()
+		}
+	}
+}
+
+// BackdoorTrigger stamps a bright trigger patch into a corner of every
+// sample and relabels it to Target, implanting a classic backdoor: the model
+// learns to map the trigger pattern to the attacker's class.
+type BackdoorTrigger struct {
+	Target int
+	// PatchSize is the trigger's edge length in pixels (top-left corner).
+	PatchSize int
+	// Value is the pixel intensity written into the patch.
+	Value float64
+}
+
+// DefaultBackdoor returns the trigger used by the attack-matrix experiments.
+func DefaultBackdoor() BackdoorTrigger {
+	return BackdoorTrigger{Target: 0, PatchSize: 2, Value: 3}
+}
+
+// Name implements DataPoison.
+func (a BackdoorTrigger) Name() string { return "backdoor-trigger" }
+
+// Poison implements DataPoison.
+func (a BackdoorTrigger) Poison(_ *rng.RNG, d *dataset.Dataset) {
+	for k, x := range d.X {
+		a.Stamp(x)
+		d.Y[k] = a.Target
+	}
+}
+
+// Stamp writes the trigger patch into a single feature vector; exported so
+// evaluations can build triggered test sets to measure attack success rate.
+func (a BackdoorTrigger) Stamp(x []float64) {
+	for r := 0; r < a.PatchSize; r++ {
+		for c := 0; c < a.PatchSize; c++ {
+			x[r*dataset.Side+c] = a.Value
+		}
+	}
+}

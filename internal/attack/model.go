@@ -1,0 +1,129 @@
+package attack
+
+import (
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// ModelPoison corrupts the parameter update a Byzantine node submits for
+// aggregation. Implementations receive the node's honest update together
+// with the honest population statistics the attacker is assumed to know
+// (omniscient-attacker model, standard in the Byzantine-FL literature): the
+// coordinate mean and standard deviation of the honest updates.
+type ModelPoison interface {
+	// Name identifies the attack in experiment reports.
+	Name() string
+	// Apply returns the poisoned update. honest is the node's own honest
+	// update; mean/std describe the honest population (std may be nil for
+	// attacks that do not use it).
+	Apply(r *rng.RNG, honest, mean, std tensor.Vector) tensor.Vector
+}
+
+// SignFlip negates the update and scales it by Scale (>1 amplifies the
+// damage), the "Sign Flip (SF)" row of Table I.
+type SignFlip struct {
+	Scale float64
+}
+
+// Name implements ModelPoison.
+func (SignFlip) Name() string { return "sign-flip" }
+
+// Apply implements ModelPoison.
+func (a SignFlip) Apply(_ *rng.RNG, honest, _, _ tensor.Vector) tensor.Vector {
+	s := a.Scale
+	if s == 0 {
+		s = 1
+	}
+	out := honest.Clone()
+	return tensor.Scale(out, -s, out)
+}
+
+// GaussianNoise submits the honest update plus large Gaussian noise (the
+// "Noise" row of Table I's model-update attacks).
+type GaussianNoise struct {
+	Stddev float64
+}
+
+// Name implements ModelPoison.
+func (GaussianNoise) Name() string { return "gaussian-noise" }
+
+// Apply implements ModelPoison.
+func (a GaussianNoise) Apply(r *rng.RNG, honest, _, _ tensor.Vector) tensor.Vector {
+	out := honest.Clone()
+	for i := range out {
+		out[i] += a.Stddev * r.NormFloat64()
+	}
+	return out
+}
+
+// ALE is the "A Little is Enough" attack (Baruch et al. 2019): Byzantine
+// nodes submit mean - z*std, a perturbation small enough to hide inside the
+// honest variance yet consistently biased. Z is the deviation multiplier
+// (the original paper derives z from the Byzantine fraction; ~1-1.5 is
+// typical).
+type ALE struct {
+	Z float64
+}
+
+// Name implements ModelPoison.
+func (ALE) Name() string { return "a-little-is-enough" }
+
+// Apply implements ModelPoison.
+func (a ALE) Apply(_ *rng.RNG, _, mean, std tensor.Vector) tensor.Vector {
+	z := a.Z
+	if z == 0 {
+		z = 1.0
+	}
+	out := mean.Clone()
+	if std != nil {
+		tensor.Axpy(out, -z, std)
+	}
+	return out
+}
+
+// IPM is the Inner Product Manipulation attack (Xie et al. 2020): Byzantine
+// nodes submit -Epsilon * mean so the aggregate's inner product with the
+// true mean turns negative, reversing descent while staying geometrically
+// close to the honest updates for small Epsilon.
+type IPM struct {
+	Epsilon float64
+}
+
+// Name implements ModelPoison.
+func (IPM) Name() string { return "inner-product-manipulation" }
+
+// Apply implements ModelPoison.
+func (a IPM) Apply(_ *rng.RNG, _, mean, _ tensor.Vector) tensor.Vector {
+	eps := a.Epsilon
+	if eps == 0 {
+		eps = 0.5
+	}
+	out := mean.Clone()
+	return tensor.Scale(out, -eps, out)
+}
+
+// PopulationStats computes the coordinate mean and standard deviation of the
+// honest updates; it is the knowledge handed to omniscient model-poisoning
+// attacks. It panics on an empty population.
+func PopulationStats(honest []tensor.Vector) (mean, std tensor.Vector) {
+	if len(honest) == 0 {
+		panic("attack: PopulationStats of empty population")
+	}
+	dim := len(honest[0])
+	mean = tensor.Mean(tensor.NewVector(dim), honest)
+	std = tensor.NewVector(dim)
+	if len(honest) == 1 {
+		return mean, std
+	}
+	for _, v := range honest {
+		for i := range v {
+			d := v[i] - mean[i]
+			std[i] += d * d
+		}
+	}
+	n := float64(len(honest))
+	for i := range std {
+		std[i] = sqrt(std[i] / n)
+	}
+	return mean, std
+}

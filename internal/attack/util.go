@@ -1,0 +1,5 @@
+package attack
+
+import "math"
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,205 @@
+// Package consensus implements the consensus-based aggregation (CBA) family
+// of the paper's Table II: the validation-voting consensus deployed at
+// ABD-HFL's top level (Appendix D-B, inspired by the PoS-style validation of
+// Chen et al.), a committee-based consensus, and a coordinate-wise Byzantine
+// approximate ε-agreement ("multidimensional consensus"). Protocols run over
+// an abstract membership where some members may be Byzantine, and report
+// message/round counts for the paper's communication-cost comparisons
+// (Table IV).
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// ErrNoProposals is returned when a protocol receives zero proposals.
+var ErrNoProposals = errors.New("consensus: no proposals")
+
+// Validator scores a proposed model from the viewpoint of one member —
+// typically the model's accuracy on the member's private validation shard.
+// Higher is better.
+type Validator func(member int, model tensor.Vector) float64
+
+// Context carries the membership and environment of one consensus instance.
+type Context struct {
+	// Members is the number of participants; member indices are
+	// [0, Members). proposals[i] is member i's proposal.
+	Members int
+	// Byzantine marks members that deviate from the protocol (vote
+	// adversarially, send extreme values). May be nil.
+	Byzantine map[int]bool
+	// Validator scores proposals for voting/committee protocols; protocols
+	// that need it return an error when it is nil.
+	Validator Validator
+	// Rand drives committee sampling and Byzantine value generation.
+	Rand *rng.RNG
+}
+
+func (c *Context) isByz(i int) bool { return c.Byzantine != nil && c.Byzantine[i] }
+
+func (c *Context) check(proposals []tensor.Vector) error {
+	if len(proposals) == 0 {
+		return ErrNoProposals
+	}
+	if c.Members != len(proposals) {
+		return fmt.Errorf("consensus: %d members but %d proposals", c.Members, len(proposals))
+	}
+	dim := len(proposals[0])
+	for i, p := range proposals {
+		if len(p) != dim {
+			return fmt.Errorf("consensus: proposal %d dim %d, want %d", i, len(p), dim)
+		}
+	}
+	if c.Rand == nil {
+		c.Rand = rng.New(0)
+	}
+	return nil
+}
+
+// Stats reports the communication footprint of one consensus instance.
+type Stats struct {
+	Rounds   int
+	Messages int
+	// ModelTransfers counts messages that carried a full model vector (the
+	// expensive kind); Messages also includes scalar votes.
+	ModelTransfers int
+	// Excluded lists the proposal indices ruled out as malicious.
+	Excluded []int
+}
+
+// Protocol is a consensus-based aggregation rule: members agree on one model
+// with malicious proposals excluded.
+type Protocol interface {
+	// Name identifies the protocol in configs and reports.
+	Name() string
+	// Agree runs the protocol and returns the agreed model.
+	Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, Stats, error)
+}
+
+// Voting is the paper's top-level consensus (Appendix D-B): every member
+// scores every proposal on its own validation data and upvotes the
+// proposals scoring within Margin of the best it saw; proposals whose
+// positive-vote count falls below the keep threshold are excluded and the
+// rest are averaged. Byzantine members vote inversely (upvote what honest
+// members reject and vice versa).
+type Voting struct {
+	// Margin is the score slack below a member's best-scored proposal within
+	// which it still upvotes; zero selects 0.1 (10 accuracy points).
+	Margin float64
+	// KeepFraction of the membership's votes a proposal needs to survive;
+	// zero selects 0.5 (strict majority), matching "the fewest number of
+	// positive votes are considered malicious".
+	KeepFraction float64
+}
+
+// Name implements Protocol.
+func (Voting) Name() string { return "voting" }
+
+// Agree implements Protocol.
+func (v Voting) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, Stats, error) {
+	if err := ctx.check(proposals); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx.Validator == nil {
+		return nil, Stats{}, errors.New("consensus: voting requires a validator")
+	}
+	n := ctx.Members
+	counts := make([]int, n)
+	for member := 0; member < n; member++ {
+		for i, up := range v.votes(ctx, member, proposals) {
+			if up {
+				counts[i]++
+			}
+		}
+	}
+	keptIdx, excluded := v.decide(counts, n)
+	kept := make([]tensor.Vector, 0, len(keptIdx))
+	for _, i := range keptIdx {
+		kept = append(kept, proposals[i])
+	}
+	// Phase 1: proposal broadcast (model transfers); phase 2: vote exchange
+	// (scalar messages).
+	st := Stats{
+		Rounds:         2,
+		ModelTransfers: n * (n - 1),
+		Messages:       2 * n * (n - 1),
+		Excluded:       excluded,
+	}
+	out := tensor.Mean(tensor.NewVector(len(proposals[0])), kept)
+	return out, st, nil
+}
+
+// Committee is a committee-based consensus (Li et al. 2020 style): a random
+// committee of Size members scores every proposal; the proposals whose total
+// committee score ranks in the top KeepFraction are averaged.
+type Committee struct {
+	// Size of the committee; zero selects ceil(n/2).
+	Size int
+	// KeepFraction of proposals retained; zero selects 0.5.
+	KeepFraction float64
+}
+
+// Name implements Protocol.
+func (Committee) Name() string { return "committee" }
+
+// Agree implements Protocol.
+func (c Committee) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, Stats, error) {
+	if err := ctx.check(proposals); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx.Validator == nil {
+		return nil, Stats{}, errors.New("consensus: committee requires a validator")
+	}
+	n := ctx.Members
+	size := c.Size
+	if size == 0 {
+		size = (n + 1) / 2
+	}
+	if size > n {
+		size = n
+	}
+	keep := c.KeepFraction
+	if keep == 0 {
+		keep = 0.5
+	}
+	committee := ctx.Rand.Choice(n, size)
+	total := make([]float64, n)
+	for _, member := range committee {
+		for i := range proposals {
+			s := ctx.Validator(member, proposals[i])
+			if ctx.isByz(member) {
+				s = -s // a Byzantine committee member inverts its scoring
+			}
+			total[i] += s
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return total[order[a]] > total[order[b]] })
+	m := int(keep * float64(n))
+	if m < 1 {
+		m = 1
+	}
+	kept := make([]tensor.Vector, 0, m)
+	var st Stats
+	for rank, i := range order {
+		if rank < m {
+			kept = append(kept, proposals[i])
+		} else {
+			st.Excluded = append(st.Excluded, i)
+		}
+	}
+	sort.Ints(st.Excluded)
+	st.Rounds = 3
+	st.ModelTransfers = n*size + size*n // proposals in, decision out
+	st.Messages = st.ModelTransfers + size*(size-1)
+	out := tensor.Mean(tensor.NewVector(len(proposals[0])), kept)
+	return out, st, nil
+}

@@ -1,0 +1,244 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"abdhfl/internal/simnet"
+	"abdhfl/internal/tensor"
+)
+
+// This file runs the validation-voting consensus as an actual message-
+// passing protocol over the discrete-event simulator: every member is an
+// actor, proposals and vote vectors travel over simulated links, and each
+// member tallies independently — demonstrating that the top level of
+// ABD-HFL needs no coordinator even at the implementation level. The
+// centralized Voting.Agree computes the same decision in one call and is
+// what the engines use for speed; this version exists for protocol-level
+// validation and latency studies.
+
+// votes computes member's up/down votes over the proposals (true = upvote),
+// applying the adversarial inversion for Byzantine members. It is the shared
+// decision kernel of the centralized and distributed implementations.
+func (v Voting) votes(ctx *Context, member int, proposals []tensor.Vector) []bool {
+	margin := v.Margin
+	if margin == 0 {
+		margin = 0.1
+	}
+	scores := make([]float64, len(proposals))
+	best := 0.0
+	for i := range proposals {
+		scores[i] = ctx.Validator(member, proposals[i])
+		if scores[i] > best {
+			best = scores[i]
+		}
+	}
+	out := make([]bool, len(proposals))
+	for i := range proposals {
+		up := scores[i] >= best-margin
+		if ctx.isByz(member) {
+			up = !up
+		}
+		out[i] = up
+	}
+	return out
+}
+
+// decide tallies the vote counts and returns the kept proposal indices and
+// the excluded ones, mirroring Voting.Agree's rule.
+func (v Voting) decide(counts []int, members int) (kept, excluded []int) {
+	keep := v.KeepFraction
+	if keep == 0 {
+		keep = 0.5
+	}
+	threshold := int(keep * float64(members))
+	if threshold < 1 {
+		threshold = 1
+	}
+	for i, c := range counts {
+		if c >= threshold {
+			kept = append(kept, i)
+		} else {
+			excluded = append(excluded, i)
+		}
+	}
+	if len(kept) == 0 {
+		best := 0
+		for i := range counts {
+			if counts[i] > counts[best] {
+				best = i
+			}
+		}
+		kept = []int{best}
+		excluded = excluded[:0]
+		for i := range counts {
+			if i != best {
+				excluded = append(excluded, i)
+			}
+		}
+	}
+	sort.Ints(excluded)
+	return kept, excluded
+}
+
+// distVoteMsg payloads.
+type (
+	distProposal struct {
+		from   int
+		params tensor.Vector
+	}
+	distVote struct {
+		from int
+		ups  []bool
+	}
+)
+
+// distVoter is one consensus member as a simnet actor.
+type distVoter struct {
+	v         Voting
+	ctx       *Context
+	self      int
+	peers     []simnet.NodeID
+	proposals []tensor.Vector
+	votes     [][]bool
+	gotProps  int
+	gotVotes  int
+	voted     bool
+	decided   *tensor.Vector
+	excluded  []int
+}
+
+func (d *distVoter) OnMessage(sctx *simnet.Context, msg simnet.Message) {
+	n := d.ctx.Members
+	switch m := msg.Payload.(type) {
+	case distProposal:
+		if d.proposals[m.from] == nil {
+			d.proposals[m.from] = m.params
+			d.gotProps++
+		}
+		if d.gotProps == n && !d.voted {
+			d.voted = true
+			ups := d.v.votes(d.ctx, d.self, d.proposals)
+			// Record own vote and broadcast it.
+			d.acceptVote(d.self, ups)
+			for i, p := range d.peers {
+				if i != d.self {
+					sctx.Send(p, distVote{from: d.self, ups: ups})
+				}
+			}
+			d.maybeDecide()
+		}
+	case distVote:
+		d.acceptVote(m.from, m.ups)
+		d.maybeDecide()
+	}
+}
+
+func (d *distVoter) acceptVote(from int, ups []bool) {
+	if d.votes[from] == nil {
+		d.votes[from] = ups
+		d.gotVotes++
+	}
+}
+
+func (d *distVoter) maybeDecide() {
+	n := d.ctx.Members
+	if d.decided != nil || d.gotVotes < n || d.gotProps < n {
+		return
+	}
+	counts := make([]int, n)
+	for _, ups := range d.votes {
+		for i, up := range ups {
+			if up {
+				counts[i]++
+			}
+		}
+	}
+	kept, excluded := d.v.decide(counts, n)
+	vecs := make([]tensor.Vector, 0, len(kept))
+	for _, i := range kept {
+		vecs = append(vecs, d.proposals[i])
+	}
+	out := tensor.Mean(tensor.NewVector(len(d.proposals[0])), vecs)
+	d.decided = &out
+	d.excluded = excluded
+}
+
+// RunDistributedVoting executes the voting consensus as message passing over
+// sim, placing member i at node baseID+i. It returns member 0's decision
+// (all honest members decide identically — verified) plus protocol stats
+// with the measured virtual duration in Stats.Rounds... the message counters
+// reflect actual traffic.
+func RunDistributedVoting(sim *simnet.Sim, baseID simnet.NodeID, ctx *Context, proposals []tensor.Vector, v Voting) (tensor.Vector, Stats, error) {
+	if err := ctx.check(proposals); err != nil {
+		return nil, Stats{}, err
+	}
+	if ctx.Validator == nil {
+		return nil, Stats{}, errors.New("consensus: distributed voting requires a validator")
+	}
+	n := ctx.Members
+	peers := make([]simnet.NodeID, n)
+	for i := range peers {
+		peers[i] = baseID + simnet.NodeID(i)
+	}
+	voters := make([]*distVoter, n)
+	for i := 0; i < n; i++ {
+		voters[i] = &distVoter{
+			v:         v,
+			ctx:       ctx,
+			self:      i,
+			peers:     peers,
+			proposals: make([]tensor.Vector, n),
+			votes:     make([][]bool, n),
+		}
+		sim.Register(peers[i], voters[i])
+	}
+	before := sim.Stats()
+	// Phase 1: every member broadcasts its proposal (and records its own).
+	for i := 0; i < n; i++ {
+		i := i
+		sim.ScheduleAt(sim.Now(), peers[i], func(sctx *simnet.Context) {
+			voters[i].proposals[i] = proposals[i]
+			voters[i].gotProps++
+			for j, p := range peers {
+				if j != i {
+					sctx.SendVolume(p, distProposal{from: i, params: proposals[i]}, int64(len(proposals[i])))
+				}
+			}
+		})
+	}
+	if _, err := sim.Run(0); err != nil {
+		return nil, Stats{}, err
+	}
+	// Verify agreement among honest members and collect the decision.
+	var result tensor.Vector
+	var excluded []int
+	for i := 0; i < n; i++ {
+		if ctx.isByz(i) {
+			continue
+		}
+		if voters[i].decided == nil {
+			return nil, Stats{}, fmt.Errorf("consensus: member %d did not decide", i)
+		}
+		if result == nil {
+			result = *voters[i].decided
+			excluded = voters[i].excluded
+			continue
+		}
+		if tensor.Distance(result, *voters[i].decided) > 1e-12 {
+			return nil, Stats{}, fmt.Errorf("consensus: members disagree (safety violation)")
+		}
+	}
+	if result == nil {
+		return nil, Stats{}, errors.New("consensus: no honest member decided")
+	}
+	after := sim.Stats()
+	st := Stats{
+		Rounds:         2,
+		Messages:       after.Messages - before.Messages,
+		ModelTransfers: n * (n - 1),
+		Excluded:       excluded,
+	}
+	return result, st, nil
+}

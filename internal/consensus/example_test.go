@@ -1,0 +1,35 @@
+package consensus_test
+
+import (
+	"fmt"
+
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// Four top-level nodes agree on a global model; the poisoned proposal
+// (index 3) scores badly on every member's validation data and is excluded.
+func ExampleVoting_Agree() {
+	good := tensor.Fill(tensor.NewVector(4), 1)
+	proposals := []tensor.Vector{
+		good.Clone(), good.Clone(), good.Clone(),
+		tensor.Fill(tensor.NewVector(4), -40), // poisoned
+	}
+	ctx := &consensus.Context{
+		Members: 4,
+		Validator: func(_ int, model tensor.Vector) float64 {
+			return 1 / (1 + tensor.Distance(model, good))
+		},
+		Rand: rng.New(1),
+	}
+	agreed, stats, err := consensus.Voting{}.Agree(ctx, proposals)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("excluded proposals:", stats.Excluded)
+	fmt.Printf("distance from truth: %.1f\n", tensor.Distance(agreed, good))
+	// Output:
+	// excluded proposals: [3]
+	// distance from truth: 0.0
+}

@@ -1,0 +1,216 @@
+// Package core assembles the paper's contribution: the ABD-HFL learning
+// engines. RunHFL executes Algorithms 1-6 as a deterministic, logically
+// synchronous round engine (used by the accuracy experiments of Table V and
+// Fig 3); the async pipeline engine lives in internal/pipeline; RunVanilla
+// is the star-topology baseline the paper compares against. Each level of
+// the tree can aggregate with a Byzantine-robust rule (BRA) or a
+// consensus-based protocol (CBA), giving the four Schemes of Table III.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/attack"
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/topology"
+)
+
+// LevelRule selects the aggregation used at a tier of the tree: exactly one
+// of BRA or CBA must be set.
+type LevelRule struct {
+	BRA aggregate.Aggregator
+	CBA consensus.Protocol
+}
+
+// IsCBA reports whether the rule is consensus-based.
+func (r LevelRule) IsCBA() bool { return r.CBA != nil }
+
+func (r LevelRule) validate(what string) error {
+	if (r.BRA == nil) == (r.CBA == nil) {
+		return fmt.Errorf("core: %s rule must set exactly one of BRA or CBA", what)
+	}
+	return nil
+}
+
+// Name returns the rule's display name.
+func (r LevelRule) Name() string {
+	if r.CBA != nil {
+		return "cba:" + r.CBA.Name()
+	}
+	if r.BRA != nil {
+		return "bra:" + r.BRA.Name()
+	}
+	return "unset"
+}
+
+// Config describes one ABD-HFL run.
+type Config struct {
+	Tree *topology.Tree
+	// Rounds is the paper's R (global rounds).
+	Rounds int
+	// Local is the per-client SGD configuration (the paper's T iterations).
+	Local nn.TrainConfig
+	// Hidden lists hidden-layer widths of the DNN; input/output widths come
+	// from the dataset. Nil selects [32].
+	Hidden []int
+
+	// Partial is the aggregation rule for all intermediate levels (the
+	// paper's levels 1..L); Global is the top-level (level 0) rule.
+	Partial LevelRule
+	Global  LevelRule
+	// PartialByLevel optionally overrides Partial for specific intermediate
+	// levels (map key = level index, 1..bottom) — the paper's "model
+	// aggregation at different levels using different types of approaches".
+	// Levels without an entry use Partial.
+	PartialByLevel map[int]LevelRule
+
+	// ClientData[i] is device i's training shard. Byzantine devices' shards
+	// are poisoned by the harness before the run (data-poisoning attacks).
+	ClientData []*dataset.Dataset
+	// TestData is the held-out evaluation set for reported accuracy.
+	TestData *dataset.Dataset
+	// ValidationShards[j] is top-level node j's private validation set used
+	// by CBA validators (the paper assigns the test pool evenly to the four
+	// top nodes). Required when any CBA rule is used.
+	ValidationShards []*dataset.Dataset
+
+	// Byzantine marks devices as malicious. With a nil ModelAttack they are
+	// pure data poisoners (the paper's Table V setting: even a malicious
+	// leader aggregates honestly). With a ModelAttack they also corrupt
+	// their submitted parameter vectors.
+	Byzantine   map[int]bool
+	ModelAttack attack.ModelPoison
+
+	// Seed drives every stochastic component.
+	Seed uint64
+	// EvalEvery is the round interval between test-accuracy measurements;
+	// zero selects 1. The final round is always evaluated.
+	EvalEvery int
+	// OnRound, if non-nil, receives every evaluated RoundStat as the run
+	// progresses — streaming progress for long experiments.
+	OnRound func(RoundStat)
+	// Workers bounds the local-training worker pool; zero = GOMAXPROCS.
+	Workers int
+	// Quorum is the paper's φ: the fraction of a cluster's models a leader
+	// waits for before aggregating. The synchronous round engine uses it to
+	// subsample stragglers deterministically; zero selects 1 (all models).
+	Quorum float64
+	// RotateLeaders re-elects every cluster's leader each round
+	// (leader = members[round mod size], upper levels rebuilt from the new
+	// leaders) — the paper's leader election applied over time. It changes
+	// which devices act as validators and consensus members at upper levels.
+	RotateLeaders bool
+	// Churn models the paper's Assumption 3 (nodes may join or leave
+	// existing clusters): each round every device is independently offline
+	// with probability OfflineProb and contributes no update that round.
+	// Clusters whose members are all offline contribute no partial model;
+	// the level above simply aggregates fewer inputs.
+	Churn ChurnModel
+}
+
+// ChurnModel describes per-round device availability.
+type ChurnModel struct {
+	// OfflineProb is the per-round probability a device is offline.
+	OfflineProb float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Tree == nil {
+		return errors.New("core: Config.Tree is nil")
+	}
+	if err := c.Tree.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 {
+		return errors.New("core: Rounds must be positive")
+	}
+	if len(c.ClientData) != c.Tree.NumDevices() {
+		return fmt.Errorf("core: %d client shards for %d devices", len(c.ClientData), c.Tree.NumDevices())
+	}
+	if c.TestData == nil || c.TestData.Len() == 0 {
+		return errors.New("core: TestData is empty")
+	}
+	if err := c.Partial.validate("Partial"); err != nil {
+		return err
+	}
+	if err := c.Global.validate("Global"); err != nil {
+		return err
+	}
+	anyCBA := c.Partial.IsCBA() || c.Global.IsCBA()
+	for lvl, rule := range c.PartialByLevel {
+		if lvl < 1 || lvl > c.Tree.Bottom() {
+			return fmt.Errorf("core: PartialByLevel level %d out of [1, %d]", lvl, c.Tree.Bottom())
+		}
+		if err := rule.validate(fmt.Sprintf("PartialByLevel[%d]", lvl)); err != nil {
+			return err
+		}
+		anyCBA = anyCBA || rule.IsCBA()
+	}
+	if anyCBA && len(c.ValidationShards) == 0 {
+		return errors.New("core: CBA rules require ValidationShards")
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("core: Quorum %v out of [0,1]", c.Quorum)
+	}
+	if p := c.Churn.OfflineProb; p < 0 || p >= 1 {
+		if p != 0 {
+			return fmt.Errorf("core: Churn.OfflineProb %v out of [0,1)", p)
+		}
+	}
+	return nil
+}
+
+func (c *Config) hidden() []int {
+	if len(c.Hidden) == 0 {
+		return []int{32}
+	}
+	return c.Hidden
+}
+
+func (c *Config) modelSizes() []int {
+	sizes := []int{dataset.Dim}
+	sizes = append(sizes, c.hidden()...)
+	return append(sizes, dataset.NumClasses)
+}
+
+// RoundStat is one point of a convergence curve.
+type RoundStat struct {
+	Round    int
+	Accuracy float64
+	// Loss is the mean test loss (only filled on evaluated rounds).
+	Loss float64
+}
+
+// CommStats counts the communication of a run.
+type CommStats struct {
+	// ModelTransfers counts full-model messages (upload, broadcast,
+	// dissemination, consensus model exchange).
+	ModelTransfers int
+	// ScalarMessages counts light messages (votes, scores).
+	ScalarMessages int
+}
+
+// Add accumulates o into s.
+func (s *CommStats) Add(o CommStats) {
+	s.ModelTransfers += o.ModelTransfers
+	s.ScalarMessages += o.ScalarMessages
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	FinalAccuracy float64
+	// FinalParams is the flat parameter vector of the final global model,
+	// loadable into a matching nn.Model for downstream evaluation (e.g.
+	// backdoor trigger rates).
+	FinalParams []float64
+	Curve       []RoundStat
+	Comm        CommStats
+	// ExcludedByConsensus counts proposals the top-level CBA ruled out
+	// across all rounds (0 for BRA tops).
+	ExcludedByConsensus int
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// GossipConfig describes a flat gossip-averaging baseline — the "gossip
+// topology" alternative the paper's introduction lists next to tree and star
+// paradigms. Each round every device trains locally and then aggregates its
+// model with Fanout random peers' models using the configured rule; there is
+// no hierarchy and no global aggregation, so the reported accuracy is the
+// mean over devices' local models.
+type GossipConfig struct {
+	Rounds int
+	// Fanout is the number of random peers each device pulls per round;
+	// zero selects 3.
+	Fanout     int
+	Local      nn.TrainConfig
+	Hidden     []int
+	Aggregator aggregate.Aggregator
+
+	ClientData []*dataset.Dataset
+	TestData   *dataset.Dataset
+
+	Byzantine map[int]bool
+
+	Seed      uint64
+	EvalEvery int
+	Workers   int
+	// EvalSample bounds how many devices are evaluated per measurement
+	// (mean accuracy over a deterministic sample); zero selects 8.
+	EvalSample int
+}
+
+// Validate reports configuration errors.
+func (c *GossipConfig) Validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("core: gossip Rounds must be positive")
+	}
+	if len(c.ClientData) < 2 {
+		return errors.New("core: gossip needs at least 2 devices")
+	}
+	if c.TestData == nil || c.TestData.Len() == 0 {
+		return errors.New("core: gossip TestData is empty")
+	}
+	if c.Aggregator == nil {
+		return errors.New("core: gossip Aggregator is nil")
+	}
+	return nil
+}
+
+func (c *GossipConfig) modelSizes() []int {
+	hidden := c.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32}
+	}
+	sizes := []int{dataset.Dim}
+	sizes = append(sizes, hidden...)
+	return append(sizes, dataset.NumClasses)
+}
+
+// RunGossip executes the gossip baseline. Byzantine devices are data
+// poisoners (their shards are poisoned by the harness); because gossip has
+// no aggregation point with a global view, robust rules can only act on the
+// tiny per-device neighbourhoods — which is exactly the structural weakness
+// the hierarchical design addresses.
+func RunGossip(cfg GossipConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fanout := cfg.Fanout
+	if fanout == 0 {
+		fanout = 3
+	}
+	devices := len(cfg.ClientData)
+	if fanout >= devices {
+		fanout = devices - 1
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	evalSample := cfg.EvalSample
+	if evalSample <= 0 {
+		evalSample = 8
+	}
+	if evalSample > devices {
+		evalSample = devices
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	root := rng.New(cfg.Seed)
+	sizes := cfg.modelSizes()
+	initParams := nn.New(root.Derive("init"), sizes...).Params()
+	params := make([]tensor.Vector, devices)
+	for i := range params {
+		params[i] = initParams.Clone()
+	}
+	trained := make([]tensor.Vector, devices)
+	hcfg := Config{ClientData: cfg.ClientData, Local: cfg.Local, Byzantine: cfg.Byzantine}
+
+	res := &Result{}
+	evalModel := nn.New(root.Derive("eval"), sizes...)
+	for round := 0; round < cfg.Rounds; round++ {
+		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		// Local training: each device trains its own current model.
+		trainLocalFrom(hcfg, sizes, params, trained, roundRNG, workers)
+		// Gossip exchange: each device aggregates its model with fanout
+		// random peers' trained models.
+		next := make([]tensor.Vector, devices)
+		for id := 0; id < devices; id++ {
+			r := roundRNG.Derive(fmt.Sprintf("peers-%d", id))
+			group := []tensor.Vector{trained[id]}
+			for _, p := range r.Choice(devices, fanout+1) {
+				if p != id && len(group) <= fanout {
+					group = append(group, trained[p])
+				}
+			}
+			agg, err := cfg.Aggregator.Aggregate(group)
+			if err != nil {
+				return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
+			}
+			next[id] = agg
+			res.Comm.ModelTransfers += len(group) - 1
+		}
+		params = next
+
+		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
+			// Mean accuracy over a deterministic device sample.
+			er := root.Derive(fmt.Sprintf("eval-%d", round))
+			sum := 0.0
+			for _, id := range er.Choice(devices, evalSample) {
+				evalModel.SetParams(params[id])
+				sum += nn.Accuracy(evalModel, cfg.TestData)
+			}
+			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: sum / float64(evalSample)})
+		}
+	}
+	if len(res.Curve) > 0 {
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy
+	}
+	return res, nil
+}
+
+// trainLocalFrom is trainLocal with per-device start parameters (gossip has
+// no shared global model).
+func trainLocalFrom(cfg Config, sizes []int, starts, out []tensor.Vector, roundRNG *rng.RNG, workers int) {
+	devices := len(starts)
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			m := nn.New(rng.New(1), sizes...)
+			for id := range jobs {
+				m.SetParams(starts[id])
+				r := roundRNG.Derive(fmt.Sprintf("device-%d", id))
+				nn.SGD(m, cfg.ClientData[id], cfg.Local, r)
+				out[id] = m.Params()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for id := 0; id < devices; id++ {
+		jobs <- id
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+}

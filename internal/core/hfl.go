@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"abdhfl/internal/attack"
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+	"abdhfl/internal/topology"
+)
+
+// RunHFL executes an ABD-HFL learning run as a deterministic round engine:
+// per round, every bottom device trains locally (Algorithm 2), partial
+// models are aggregated cluster by cluster up the tree (Algorithms 3-4), the
+// top level forms the global model with BRA or CBA (Algorithm 6), and the
+// new global model is disseminated back to all devices (Algorithm 5). Local
+// training fans out over a worker pool; results are independent of
+// scheduling because every device derives its own random stream.
+func RunHFL(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizes := cfg.modelSizes()
+	global := nn.New(root.Derive("init"), sizes...)
+	globalParams := global.Params()
+
+	tree := cfg.Tree
+	devices := tree.NumDevices()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+
+	res := &Result{}
+	evalModel := nn.New(root.Derive("eval"), sizes...)
+	updates := make([]tensor.Vector, devices)
+
+	baseTree := tree
+	for round := 0; round < cfg.Rounds; round++ {
+		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+
+		// --- Leader re-election: rotate every cluster's leadership and
+		// rebuild the upper levels from the new leaders.
+		if cfg.RotateLeaders {
+			rotated, err := baseTree.Rotate(round)
+			if err != nil {
+				return nil, fmt.Errorf("core: round %d leader rotation: %w", round, err)
+			}
+			tree = rotated
+		}
+
+		// --- Availability churn (Assumption 3): offline devices skip the
+		// round entirely.
+		offline := drawOffline(cfg, roundRNG, devices)
+
+		// --- Local model training (Algorithm 2) over a worker pool.
+		trainLocal(cfg, sizes, globalParams, updates, offline, roundRNG, workers)
+
+		// --- Model-update attacks by Byzantine devices (omniscient model).
+		if cfg.ModelAttack != nil {
+			applyModelAttack(cfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+
+		// --- Partial model aggregation (Algorithms 3-4), bottom level up to
+		// level 1. partials[i] is the output of cluster i at the current
+		// level; at the bottom the inputs are device updates.
+		partials := updates
+		byLevelInput := func(c *topology.Cluster, lvl int) ([]tensor.Vector, []int) {
+			vecs := make([]tensor.Vector, 0, c.Size())
+			ids := make([]int, 0, c.Size())
+			for mi, m := range c.Members {
+				var v tensor.Vector
+				if lvl == tree.Bottom() {
+					v = partials[m]
+				} else {
+					// Members of an upper cluster are leaders of child
+					// clusters; the child cluster order matches member order.
+					v = partials[childIndex(tree, c, mi)]
+				}
+				if v != nil {
+					vecs = append(vecs, v)
+					ids = append(ids, m)
+				}
+			}
+			return vecs, ids
+		}
+		for lvl := tree.Bottom(); lvl >= 1; lvl-- {
+			next := make([]tensor.Vector, len(tree.Clusters[lvl]))
+			for ci, c := range tree.Clusters[lvl] {
+				vecs, ids := byLevelInput(c, lvl)
+				if len(vecs) == 0 {
+					// Every contributor is offline this round (churn): the
+					// cluster contributes nothing and the level above
+					// aggregates fewer inputs.
+					continue
+				}
+				vecs, ids = applyQuorum(cfg, roundRNG, lvl, ci, vecs, ids)
+				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids)
+				if err != nil {
+					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
+				}
+				res.Comm.Add(comm)
+				next[ci] = agg
+			}
+			partials = next
+		}
+
+		// --- Global model aggregation (Algorithm 6) at the top. After the
+		// level loop, partials holds one model per level-1 cluster, whose
+		// leaders are exactly the top cluster's members.
+		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials)
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d top level: %w", round, err)
+		}
+		res.Comm.Add(comm)
+		res.ExcludedByConsensus += excluded
+		globalParams = newGlobal
+
+		// --- Dissemination (Algorithm 5): the global model travels down the
+		// tree, one broadcast per cluster.
+		res.Comm.Add(disseminationCost(tree))
+
+		// --- Evaluation.
+		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
+			evalModel.SetParams(globalParams)
+			acc := nn.Accuracy(evalModel, cfg.TestData)
+			loss := nn.Loss(evalModel, cfg.TestData)
+			stat := RoundStat{Round: round + 1, Accuracy: acc, Loss: loss}
+			res.Curve = append(res.Curve, stat)
+			if cfg.OnRound != nil {
+				cfg.OnRound(stat)
+			}
+		}
+	}
+	if len(res.Curve) > 0 {
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy
+	}
+	res.FinalParams = globalParams
+	return res, nil
+}
+
+// childIndex maps member mi of upper-level cluster c to the index of the
+// child cluster it leads at level c.Level+1.
+func childIndex(tree *topology.Tree, c *topology.Cluster, mi int) int {
+	children := tree.ChildClusters(c.Level, c.Index)
+	if mi >= len(children) {
+		panic("core: member without child cluster")
+	}
+	return children[mi].Index
+}
+
+// trainLocal runs every device's local SGD in parallel and stores flattened
+// parameter updates.
+func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG, workers int) {
+	devices := len(updates)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := nn.New(rng.New(1), sizes...)
+			for id := range jobs {
+				m.SetParams(start)
+				r := roundRNG.Derive(fmt.Sprintf("device-%d", id))
+				nn.SGD(m, cfg.ClientData[id], cfg.Local, r)
+				updates[id] = m.Params()
+			}
+		}()
+	}
+	for id := 0; id < devices; id++ {
+		if offline[id] {
+			updates[id] = nil
+			continue
+		}
+		jobs <- id
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// drawOffline samples the round's offline set deterministically.
+func drawOffline(cfg Config, roundRNG *rng.RNG, devices int) map[int]bool {
+	if cfg.Churn.OfflineProb <= 0 {
+		return nil
+	}
+	r := roundRNG.Derive("churn")
+	offline := map[int]bool{}
+	for id := 0; id < devices; id++ {
+		if r.Float64() < cfg.Churn.OfflineProb {
+			offline[id] = true
+		}
+	}
+	return offline
+}
+
+// applyModelAttack replaces Byzantine devices' updates with attacked
+// vectors. Following the Byzantine-FL literature, attacks operate on the
+// round's update DELTAS (trained params minus the round's start model), with
+// the honest deltas' population statistics as the omniscient attacker's
+// knowledge; the poisoned delta is re-anchored at the start model. Attacking
+// raw parameter vectors instead would destroy the network in round one
+// before any validator can discriminate, which no published attack model
+// intends.
+func applyModelAttack(cfg Config, updates []tensor.Vector, start tensor.Vector, r *rng.RNG) {
+	var honestDeltas []tensor.Vector
+	for id, u := range updates {
+		if u != nil && !cfg.Byzantine[id] {
+			honestDeltas = append(honestDeltas, tensor.Sub(tensor.NewVector(len(u)), u, start))
+		}
+	}
+	if len(honestDeltas) == 0 {
+		// Everyone online is Byzantine; attack their own statistics.
+		for _, u := range updates {
+			if u != nil {
+				honestDeltas = append(honestDeltas, tensor.Sub(tensor.NewVector(len(u)), u, start))
+			}
+		}
+	}
+	if len(honestDeltas) == 0 {
+		return // everyone offline this round
+	}
+	mean, std := attack.PopulationStats(honestDeltas)
+	for id := range updates {
+		if !cfg.Byzantine[id] || updates[id] == nil {
+			continue
+		}
+		delta := tensor.Sub(tensor.NewVector(len(start)), updates[id], start)
+		poisoned := cfg.ModelAttack.Apply(r, delta, mean, std)
+		updates[id] = tensor.Add(poisoned, poisoned, start)
+	}
+}
+
+// applyQuorum deterministically subsamples a cluster's available models down
+// to ceil(φ*size), simulating a leader that stops waiting once the quorum is
+// reached (Algorithm 4's φ_ℓ × C_ℓ,i condition).
+func applyQuorum(cfg Config, roundRNG *rng.RNG, lvl, ci int, vecs []tensor.Vector, ids []int) ([]tensor.Vector, []int) {
+	if cfg.Quorum == 0 || cfg.Quorum >= 1 || len(vecs) <= 1 {
+		return vecs, ids
+	}
+	need := int(math.Ceil(cfg.Quorum * float64(len(vecs))))
+	if need < 1 {
+		need = 1
+	}
+	if need >= len(vecs) {
+		return vecs, ids
+	}
+	r := roundRNG.Derive(fmt.Sprintf("quorum-%d-%d", lvl, ci))
+	pick := r.Choice(len(vecs), need)
+	outV := make([]tensor.Vector, need)
+	outI := make([]int, need)
+	for k, i := range pick {
+		outV[k] = vecs[i]
+		outI[k] = ids[i]
+	}
+	return outV, outI
+}
+
+// ruleForLevel returns the aggregation rule for intermediate level lvl.
+func ruleForLevel(cfg Config, lvl int) LevelRule {
+	if rule, ok := cfg.PartialByLevel[lvl]; ok {
+		return rule
+	}
+	return cfg.Partial
+}
+
+// aggregateCluster forms one cluster's partial model with the configured
+// intermediate rule and returns its communication cost: members upload to
+// the leader and the leader broadcasts the result back (BRA), or all members
+// exchange proposals (CBA).
+func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int) (tensor.Vector, CommStats, error) {
+	var comm CommStats
+	n := len(vecs)
+	if n == 0 {
+		return nil, comm, fmt.Errorf("cluster (%d,%d) received no models", c.Level, c.Index)
+	}
+	rule := ruleForLevel(cfg, c.Level)
+	if !rule.IsCBA() {
+		agg, err := rule.BRA.Aggregate(vecs)
+		if err != nil {
+			return nil, comm, err
+		}
+		// Uploads to leader (leader's own model is local) + result broadcast
+		// to members for storage.
+		comm.ModelTransfers += (n - 1) + (c.Size() - 1)
+		return agg, comm, nil
+	}
+	ctx := &consensus.Context{
+		Members:   n,
+		Byzantine: protocolByzantine(cfg, ids),
+		Validator: localValidator(cfg, ids),
+		Rand:      roundRNG.Derive(fmt.Sprintf("cba-%d-%d", c.Level, c.Index)),
+	}
+	agg, st, err := rule.CBA.Agree(ctx, vecs)
+	if err != nil {
+		return nil, comm, err
+	}
+	comm.ModelTransfers += st.ModelTransfers
+	comm.ScalarMessages += st.Messages - st.ModelTransfers
+	return agg, comm, nil
+}
+
+// aggregateTop forms the global model (Algorithm 6).
+func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector) (tensor.Vector, CommStats, int, error) {
+	var comm CommStats
+	vecs := make([]tensor.Vector, 0, len(partials))
+	for _, p := range partials {
+		if p != nil {
+			vecs = append(vecs, p)
+		}
+	}
+	if len(vecs) == 0 {
+		return nil, comm, 0, fmt.Errorf("top level received no partial models")
+	}
+	if !cfg.Global.IsCBA() {
+		agg, err := cfg.Global.BRA.Aggregate(vecs)
+		if err != nil {
+			return nil, comm, 0, err
+		}
+		n := len(vecs)
+		comm.ModelTransfers += (n - 1) + (n - 1) // uploads to A_{0,0} + broadcast
+		return agg, comm, 0, nil
+	}
+	top := tree.Top()
+	ctx := &consensus.Context{
+		Members:   len(vecs),
+		Byzantine: protocolByzantine(cfg, top.Members[:min(len(vecs), top.Size())]),
+		Validator: shardValidator(cfg),
+		Rand:      roundRNG.Derive("cba-top"),
+	}
+	agg, st, err := cfg.Global.CBA.Agree(ctx, vecs)
+	if err != nil {
+		return nil, comm, 0, err
+	}
+	comm.ModelTransfers += st.ModelTransfers
+	comm.ScalarMessages += st.Messages - st.ModelTransfers
+	return agg, comm, len(st.Excluded), nil
+}
+
+// protocolByzantine maps device-level Byzantine flags onto protocol member
+// indices. Data poisoners follow the consensus protocol honestly (the
+// paper's Table V note); only model attackers deviate inside protocols.
+func protocolByzantine(cfg Config, ids []int) map[int]bool {
+	if cfg.ModelAttack == nil || cfg.Byzantine == nil {
+		return nil
+	}
+	out := make(map[int]bool)
+	for i, id := range ids {
+		if cfg.Byzantine[id] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// localValidator scores a proposal by its accuracy on the member device's
+// own training shard — the only data an intermediate node holds.
+func localValidator(cfg Config, ids []int) consensus.Validator {
+	sizes := cfg.modelSizes()
+	return func(member int, model tensor.Vector) float64 {
+		id := ids[member]
+		m := nn.New(rng.New(1), sizes...)
+		m.SetParams(model)
+		return nn.Accuracy(m, cfg.ClientData[id])
+	}
+}
+
+// shardValidator scores a proposal by its accuracy on a top node's private
+// validation shard (the paper's Appendix D-B voting input).
+func shardValidator(cfg Config) consensus.Validator {
+	sizes := cfg.modelSizes()
+	return func(member int, model tensor.Vector) float64 {
+		shard := cfg.ValidationShards[member%len(cfg.ValidationShards)]
+		m := nn.New(rng.New(1), sizes...)
+		m.SetParams(model)
+		return nn.Accuracy(m, shard)
+	}
+}
+
+// disseminationCost counts the model transfers of Algorithm 5: every cluster
+// leader broadcasts the model to its cluster members (members-1 transfers
+// per cluster, every level).
+func disseminationCost(tree *topology.Tree) CommStats {
+	var comm CommStats
+	for _, level := range tree.Clusters {
+		for _, c := range level {
+			comm.ModelTransfers += c.Size() - 1
+		}
+	}
+	return comm
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/consensus"
+)
+
+// Scheme enumerates the four Byzantine-resistance combinations of the
+// paper's Table III.
+type Scheme int
+
+const (
+	// Scheme1 uses BRA for partial aggregation and CBA at the top — the
+	// paper's evaluation configuration, suited to FL with masses of devices.
+	Scheme1 Scheme = iota + 1
+	// Scheme2 uses CBA for partial aggregation and BRA at the top, suited to
+	// smaller memberships that are sensitive to malicious participants.
+	Scheme2
+	// Scheme3 uses BRA at every level: fastest aggregation, intermediate
+	// robustness.
+	Scheme3
+	// Scheme4 uses CBA at every level: highest communication cost, best
+	// robustness.
+	Scheme4
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme1:
+		return "scheme-1 (BRA partial / CBA global)"
+	case Scheme2:
+		return "scheme-2 (CBA partial / BRA global)"
+	case Scheme3:
+		return "scheme-3 (BRA partial / BRA global)"
+	case Scheme4:
+		return "scheme-4 (CBA partial / CBA global)"
+	}
+	return fmt.Sprintf("scheme-%d (invalid)", int(s))
+}
+
+// Rules returns the per-level rules of the scheme, using the given BRA rule
+// and CBA protocol as the building blocks.
+func (s Scheme) Rules(bra aggregate.Aggregator, cba consensus.Protocol) (partial, global LevelRule, err error) {
+	switch s {
+	case Scheme1:
+		return LevelRule{BRA: bra}, LevelRule{CBA: cba}, nil
+	case Scheme2:
+		return LevelRule{CBA: cba}, LevelRule{BRA: bra}, nil
+	case Scheme3:
+		return LevelRule{BRA: bra}, LevelRule{BRA: bra}, nil
+	case Scheme4:
+		return LevelRule{CBA: cba}, LevelRule{CBA: cba}, nil
+	}
+	return LevelRule{}, LevelRule{}, fmt.Errorf("core: unknown scheme %d", int(s))
+}
+
+// Schemes lists all four schemes of Table III.
+func Schemes() []Scheme { return []Scheme{Scheme1, Scheme2, Scheme3, Scheme4} }

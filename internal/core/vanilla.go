@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/attack"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// VanillaConfig describes a classic star-topology FL run: one central server
+// aggregates every client's update with a single rule. It is the baseline of
+// the paper's Table V ("Vanilla FL is set with a central server as
+// aggregation for all 64 clients").
+type VanillaConfig struct {
+	Rounds     int
+	Local      nn.TrainConfig
+	Hidden     []int
+	Aggregator aggregate.Aggregator
+
+	ClientData []*dataset.Dataset
+	TestData   *dataset.Dataset
+
+	Byzantine   map[int]bool
+	ModelAttack attack.ModelPoison
+
+	Seed      uint64
+	EvalEvery int
+	Workers   int
+}
+
+// Validate reports configuration errors.
+func (c *VanillaConfig) Validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("core: vanilla Rounds must be positive")
+	}
+	if len(c.ClientData) == 0 {
+		return errors.New("core: vanilla needs client data")
+	}
+	if c.TestData == nil || c.TestData.Len() == 0 {
+		return errors.New("core: vanilla TestData is empty")
+	}
+	if c.Aggregator == nil {
+		return errors.New("core: vanilla Aggregator is nil")
+	}
+	return nil
+}
+
+func (c *VanillaConfig) modelSizes() []int {
+	hidden := c.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32}
+	}
+	sizes := []int{dataset.Dim}
+	sizes = append(sizes, hidden...)
+	return append(sizes, dataset.NumClasses)
+}
+
+// RunVanilla executes the star-topology baseline.
+func RunVanilla(cfg VanillaConfig) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	sizes := cfg.modelSizes()
+	globalParams := nn.New(root.Derive("init"), sizes...).Params()
+	evalModel := nn.New(root.Derive("eval"), sizes...)
+
+	clients := len(cfg.ClientData)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 1
+	}
+	hcfg := Config{ClientData: cfg.ClientData, Local: cfg.Local, Byzantine: cfg.Byzantine, ModelAttack: cfg.ModelAttack}
+
+	res := &Result{}
+	updates := make([]tensor.Vector, clients)
+	for round := 0; round < cfg.Rounds; round++ {
+		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		trainLocal(hcfg, sizes, globalParams, updates, nil, roundRNG, workers)
+		if cfg.ModelAttack != nil {
+			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+		agg, err := cfg.Aggregator.Aggregate(updates)
+		if err != nil {
+			return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
+		}
+		globalParams = agg
+		// Star topology: every client uploads, the server broadcasts back.
+		res.Comm.ModelTransfers += 2 * clients
+
+		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
+			evalModel.SetParams(globalParams)
+			res.Curve = append(res.Curve, RoundStat{
+				Round:    round + 1,
+				Accuracy: nn.Accuracy(evalModel, cfg.TestData),
+				Loss:     nn.Loss(evalModel, cfg.TestData),
+			})
+		}
+	}
+	if len(res.Curve) > 0 {
+		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy
+	}
+	res.FinalParams = globalParams
+	return res, nil
+}

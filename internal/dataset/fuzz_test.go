@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzLoadIDX hardens the IDX decoder: arbitrary byte streams must either
+// error out or yield a structurally valid dataset — never panic or allocate
+// absurd amounts.
+func FuzzLoadIDX(f *testing.F) {
+	// Seed: one valid pair, concatenated as images||labels with a length
+	// prefix so the fuzzer can mutate both streams.
+	img := &bytes.Buffer{}
+	for _, v := range []uint32{idxImagesMagic, 1, Side, Side} {
+		_ = binary.Write(img, binary.BigEndian, v)
+	}
+	img.Write(make([]byte, Dim))
+	lbl := &bytes.Buffer{}
+	for _, v := range []uint32{idxLabelsMagic, 1} {
+		_ = binary.Write(lbl, binary.BigEndian, v)
+	}
+	lbl.WriteByte(3)
+	f.Add(img.Bytes(), lbl.Bytes())
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte("junk"), []byte("junk"))
+
+	f.Fuzz(func(t *testing.T, images, labels []byte) {
+		// Guard against fuzzer inputs claiming huge sample counts: the
+		// reader must fail on truncation before allocating per-sample.
+		d, err := LoadIDX(bytes.NewReader(images), bytes.NewReader(labels))
+		if err != nil {
+			return
+		}
+		for i := range d.X {
+			if len(d.X[i]) != Dim {
+				t.Fatal("accepted sample with wrong dimension")
+			}
+			if d.Y[i] < 0 || d.Y[i] >= NumClasses {
+				t.Fatal("accepted out-of-range label")
+			}
+		}
+	})
+}

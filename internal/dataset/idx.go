@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"abdhfl/internal/tensor"
+)
+
+// IDX loading: the LeCun IDX format used by the original MNIST distribution
+// (magic 0x803 image files, 0x801 label files). The module ships with the
+// synthetic generator because it must work offline, but when the real MNIST
+// files are available this loader adapts them to the pipeline: images are
+// average-pooled down to the Side x Side feature grid every other component
+// expects and scaled to [0, 1].
+
+const (
+	idxImagesMagic = 0x00000803
+	idxLabelsMagic = 0x00000801
+)
+
+// LoadIDX reads an images/labels IDX pair into a Dataset. Images are pooled
+// to Side x Side and intensities scaled to [0, 1]; labels must be in
+// [0, NumClasses).
+func LoadIDX(images, labels io.Reader) (*Dataset, error) {
+	imgs := bufio.NewReader(images)
+	lbls := bufio.NewReader(labels)
+
+	var magic, count uint32
+	if err := binary.Read(imgs, binary.BigEndian, &magic); err != nil {
+		return nil, fmt.Errorf("dataset: reading image magic: %w", err)
+	}
+	if magic != idxImagesMagic {
+		return nil, fmt.Errorf("dataset: bad image magic %#x", magic)
+	}
+	if err := binary.Read(imgs, binary.BigEndian, &count); err != nil {
+		return nil, err
+	}
+	var rows, cols uint32
+	if err := binary.Read(imgs, binary.BigEndian, &rows); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(imgs, binary.BigEndian, &cols); err != nil {
+		return nil, err
+	}
+	if rows == 0 || cols == 0 || rows > 4096 || cols > 4096 {
+		return nil, fmt.Errorf("dataset: implausible image shape %dx%d", rows, cols)
+	}
+
+	var lMagic, lCount uint32
+	if err := binary.Read(lbls, binary.BigEndian, &lMagic); err != nil {
+		return nil, fmt.Errorf("dataset: reading label magic: %w", err)
+	}
+	if lMagic != idxLabelsMagic {
+		return nil, fmt.Errorf("dataset: bad label magic %#x", lMagic)
+	}
+	if err := binary.Read(lbls, binary.BigEndian, &lCount); err != nil {
+		return nil, err
+	}
+	if count != lCount {
+		return nil, fmt.Errorf("dataset: %d images but %d labels", count, lCount)
+	}
+	// Guard against adversarial headers: cap the sample count (MNIST is
+	// 60k; 2^22 leaves ample headroom) and never trust it for preallocation
+	// — a corrupt stream would otherwise drive a multi-GB make().
+	const maxIDXSamples = 1 << 22
+	if count > maxIDXSamples {
+		return nil, fmt.Errorf("dataset: implausible sample count %d", count)
+	}
+	prealloc := int(count)
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	d := &Dataset{
+		X: make([]tensor.Vector, 0, prealloc),
+		Y: make([]int, 0, prealloc),
+	}
+	raw := make([]byte, rows*cols)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(imgs, raw); err != nil {
+			return nil, fmt.Errorf("dataset: image %d truncated: %w", i, err)
+		}
+		label, err := lbls.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: label %d truncated: %w", i, err)
+		}
+		if int(label) >= NumClasses {
+			return nil, fmt.Errorf("dataset: label %d out of range at sample %d", label, i)
+		}
+		d.X = append(d.X, poolToGrid(raw, int(rows), int(cols)))
+		d.Y = append(d.Y, int(label))
+	}
+	return d, nil
+}
+
+// poolToGrid average-pools a rows x cols uint8 image down to Side x Side
+// float features in [0, 1].
+func poolToGrid(raw []byte, rows, cols int) tensor.Vector {
+	out := tensor.NewVector(Dim)
+	for gr := 0; gr < Side; gr++ {
+		r0 := gr * rows / Side
+		r1 := (gr + 1) * rows / Side
+		if r1 == r0 {
+			r1 = r0 + 1
+		}
+		for gc := 0; gc < Side; gc++ {
+			c0 := gc * cols / Side
+			c1 := (gc + 1) * cols / Side
+			if c1 == c0 {
+				c1 = c0 + 1
+			}
+			sum := 0.0
+			for r := r0; r < r1 && r < rows; r++ {
+				for c := c0; c < c1 && c < cols; c++ {
+					sum += float64(raw[r*cols+c])
+				}
+			}
+			n := float64((r1 - r0) * (c1 - c0))
+			out[gr*Side+gc] = sum / n / 255
+		}
+	}
+	return out
+}
+
+// LoadMNISTDir loads the classic four-file MNIST layout from dir
+// (train-images-idx3-ubyte, train-labels-idx1-ubyte, t10k-images-idx3-ubyte,
+// t10k-labels-idx1-ubyte), returning train and test sets.
+func LoadMNISTDir(dir string) (train, test *Dataset, err error) {
+	open := func(name string) (*os.File, error) {
+		return os.Open(dir + string(os.PathSeparator) + name)
+	}
+	ti, err := open("train-images-idx3-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ti.Close()
+	tl, err := open("train-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer tl.Close()
+	train, err = LoadIDX(ti, tl)
+	if err != nil {
+		return nil, nil, err
+	}
+	vi, err := open("t10k-images-idx3-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vi.Close()
+	vl, err := open("t10k-labels-idx1-ubyte")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer vl.Close()
+	test, err = LoadIDX(vi, vl)
+	if err != nil {
+		return nil, nil, err
+	}
+	if train.Len() == 0 || test.Len() == 0 {
+		return nil, nil, errors.New("dataset: empty MNIST files")
+	}
+	return train, test, nil
+}

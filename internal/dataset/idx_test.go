@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+// writeIDXPair synthesises an IDX image/label pair with the given samples.
+func writeIDXPair(t *testing.T, images [][]byte, labels []byte, rows, cols int) (*bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	imgBuf := &bytes.Buffer{}
+	lblBuf := &bytes.Buffer{}
+	for _, v := range []uint32{idxImagesMagic, uint32(len(images)), uint32(rows), uint32(cols)} {
+		if err := binary.Write(imgBuf, binary.BigEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, img := range images {
+		imgBuf.Write(img)
+	}
+	for _, v := range []uint32{idxLabelsMagic, uint32(len(labels))} {
+		if err := binary.Write(lblBuf, binary.BigEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lblBuf.Write(labels)
+	return imgBuf, lblBuf
+}
+
+func TestLoadIDXRoundTrip(t *testing.T) {
+	const rows, cols = 28, 28
+	r := rng.New(61)
+	images := make([][]byte, 5)
+	labels := make([]byte, 5)
+	for i := range images {
+		img := make([]byte, rows*cols)
+		for j := range img {
+			img[j] = byte(r.Intn(256))
+		}
+		images[i] = img
+		labels[i] = byte(i % NumClasses)
+	}
+	imgBuf, lblBuf := writeIDXPair(t, images, labels, rows, cols)
+	d, err := LoadIDX(imgBuf, lblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 5 {
+		t.Fatalf("loaded %d samples", d.Len())
+	}
+	for i, x := range d.X {
+		if len(x) != Dim {
+			t.Fatalf("sample %d dim %d", i, len(x))
+		}
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v out of [0,1]", v)
+			}
+		}
+		if d.Y[i] != i%NumClasses {
+			t.Fatalf("label %d = %d", i, d.Y[i])
+		}
+	}
+}
+
+func TestLoadIDXPoolingAverages(t *testing.T) {
+	// A uniform 255 image must pool to all-ones.
+	const rows, cols = 16, 16
+	img := bytes.Repeat([]byte{255}, rows*cols)
+	imgBuf, lblBuf := writeIDXPair(t, [][]byte{img}, []byte{7}, rows, cols)
+	d, err := LoadIDX(imgBuf, lblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.X[0] {
+		if v != 1 {
+			t.Fatalf("pooled pixel = %v, want 1", v)
+		}
+	}
+}
+
+func TestLoadIDXNativeGrid(t *testing.T) {
+	// An already Side x Side image passes through unpooled (identity blocks).
+	img := make([]byte, Dim)
+	img[0] = 255
+	imgBuf, lblBuf := writeIDXPair(t, [][]byte{img}, []byte{0}, Side, Side)
+	d, err := LoadIDX(imgBuf, lblBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.X[0][0] != 1 || d.X[0][1] != 0 {
+		t.Fatalf("native grid mangled: %v %v", d.X[0][0], d.X[0][1])
+	}
+}
+
+func TestLoadIDXErrors(t *testing.T) {
+	// Bad image magic.
+	img := &bytes.Buffer{}
+	_ = binary.Write(img, binary.BigEndian, uint32(0xdead))
+	lbl := &bytes.Buffer{}
+	if _, err := LoadIDX(img, lbl); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+
+	// Count mismatch.
+	imgBuf, _ := writeIDXPair(t, [][]byte{make([]byte, Dim)}, []byte{0}, Side, Side)
+	lblBuf := &bytes.Buffer{}
+	_ = binary.Write(lblBuf, binary.BigEndian, uint32(idxLabelsMagic))
+	_ = binary.Write(lblBuf, binary.BigEndian, uint32(2))
+	lblBuf.Write([]byte{0, 1})
+	if _, err := LoadIDX(imgBuf, lblBuf); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+
+	// Truncated image data.
+	imgBuf2 := &bytes.Buffer{}
+	for _, v := range []uint32{idxImagesMagic, 1, Side, Side} {
+		_ = binary.Write(imgBuf2, binary.BigEndian, v)
+	}
+	imgBuf2.Write(make([]byte, 3)) // far too short
+	_, lblBuf2 := writeIDXPair(t, nil, []byte{0}, Side, Side)
+	if _, err := LoadIDX(imgBuf2, lblBuf2); err == nil {
+		t.Fatal("truncated images accepted")
+	}
+
+	// Out-of-range label.
+	imgBuf3, lblBuf3 := writeIDXPair(t, [][]byte{make([]byte, Dim)}, []byte{200}, Side, Side)
+	if _, err := LoadIDX(imgBuf3, lblBuf3); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+}
+
+func TestLoadMNISTDirMissing(t *testing.T) {
+	if _, _, err := LoadMNISTDir(t.TempDir()); err == nil {
+		t.Fatal("missing files accepted")
+	}
+}

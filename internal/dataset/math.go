@@ -1,0 +1,10 @@
+package dataset
+
+import "math"
+
+// Thin wrappers keep partition.go readable without dotted math calls in the
+// inner sampling loops.
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func ln(x float64) float64     { return math.Log(x) }

@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"strings"
+
+	"abdhfl/internal/tensor"
+)
+
+// Render draws a sample as ASCII art (one glyph row per line) using a
+// five-step intensity ramp. It is a debugging aid for inspecting the
+// synthetic digits and the effect of attacks (noise, backdoor triggers).
+func Render(x tensor.Vector) string {
+	ramp := []byte(" .:#@")
+	var b strings.Builder
+	for r := 0; r < Side; r++ {
+		for c := 0; c < Side; c++ {
+			v := x[r*Side+c]
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			b.WriteByte(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/topology"
+)
+
+// BoundsOptions parameterises the tolerance-theory report.
+type BoundsOptions struct {
+	Gamma1, Gamma2 float64 // 0 -> 0.25 each
+	ClusterSize    int     // 0 -> 4
+	TopNodes       int     // 0 -> 4
+	MaxDepth       int     // 0 -> 5
+	ACSMTrees      int     // number of random ACSM trees to verify; 0 -> none
+	Seed           uint64
+}
+
+func (o *BoundsOptions) defaults() {
+	if o.Gamma1 == 0 {
+		o.Gamma1 = 0.25
+	}
+	if o.Gamma2 == 0 {
+		o.Gamma2 = 0.25
+	}
+	if o.ClusterSize == 0 {
+		o.ClusterSize = 4
+	}
+	if o.TopNodes == 0 {
+		o.TopNodes = 4
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// BoundRow is one ECSM depth's verified bound.
+type BoundRow struct {
+	Depth     int
+	Devices   int
+	Bound     float64
+	Placement int  // size of the greedy bound-attaining placement
+	Survives  bool // whether ideal filtering accepts the placement
+}
+
+// ACSMRow is one random-tree Theorem 3 verification.
+type ACSMRow struct {
+	Devices, Depth, ByzPlaced int
+	Psi, Bound, Actual        float64
+	WithinBound               bool
+}
+
+// BoundsReport is the full tolerance-theory verification.
+type BoundsReport struct {
+	Options BoundsOptions
+	ECSM    []BoundRow
+	// PerLevel[l] is the Corollary 2 tolerated proportion at level l.
+	PerLevel []float64
+	ACSM     []ACSMRow
+}
+
+// RunBounds computes and verifies the Theorem 1-3 bounds.
+func RunBounds(o BoundsOptions) (*BoundsReport, error) {
+	o.defaults()
+	tol := topology.Tolerance{Gamma1: o.Gamma1, Gamma2: o.Gamma2}
+	rep := &BoundsReport{Options: o}
+	for depth := 2; depth <= o.MaxDepth; depth++ {
+		tree, err := topology.NewECSM(depth, o.ClusterSize, o.TopNodes)
+		if err != nil {
+			return nil, err
+		}
+		placement := tol.AdversarialPlacement(tree)
+		rep.ECSM = append(rep.ECSM, BoundRow{
+			Depth:     depth,
+			Devices:   tree.NumDevices(),
+			Bound:     tol.BottomBound(depth),
+			Placement: len(placement),
+			Survives:  tol.SurvivesFiltering(tree, placement),
+		})
+	}
+	for l := 0; l < o.MaxDepth; l++ {
+		rep.PerLevel = append(rep.PerLevel, topology.MaxByzantineProportion(o.Gamma1, o.Gamma2, l))
+	}
+	r := rng.New(o.Seed)
+	for i := 0; i < o.ACSMTrees; i++ {
+		devices := 40 + r.Intn(120)
+		tree, err := topology.NewACSM(r, devices, 3, 6, o.TopNodes)
+		if err != nil {
+			return nil, err
+		}
+		k := devices * 3 / 10
+		byz := map[int]bool{}
+		for _, id := range r.Choice(devices, k) {
+			byz[id] = true
+		}
+		psi := topology.RelativeReliableNumber(tree, tree.Bottom(), byz, o.Gamma2)
+		bound := topology.ACSMMaxByzantineProportion(o.Gamma2, psi)
+		actual := float64(k) / float64(devices)
+		rep.ACSM = append(rep.ACSM, ACSMRow{
+			Devices: devices, Depth: tree.Depth(), ByzPlaced: k,
+			Psi: psi, Bound: bound, Actual: actual,
+			WithinBound: actual <= bound+1e-9,
+		})
+	}
+	return rep, nil
+}
+
+// ECSMTable renders the per-depth bound verification.
+func (r *BoundsReport) ECSMTable() metrics.Table {
+	t := metrics.Table{Header: []string{"depth", "bottom devices", "bound", "greedy placement", "survives filtering"}}
+	for _, row := range r.ECSM {
+		t.AddRow(
+			fmt.Sprint(row.Depth),
+			fmt.Sprint(row.Devices),
+			metrics.Pct(row.Bound),
+			fmt.Sprintf("%d/%d (%s)", row.Placement, row.Devices,
+				metrics.Pct(float64(row.Placement)/float64(row.Devices))),
+			fmt.Sprint(row.Survives),
+		)
+	}
+	return t
+}
+
+// ACSMTable renders the Theorem 3 verification rows.
+func (r *BoundsReport) ACSMTable() metrics.Table {
+	t := metrics.Table{Header: []string{"devices", "depth", "byz placed", "psi(bottom)", "bound", "actual", "within bound"}}
+	for _, row := range r.ACSM {
+		t.AddRow(
+			fmt.Sprint(row.Devices), fmt.Sprint(row.Depth), fmt.Sprint(row.ByzPlaced),
+			fmt.Sprintf("%.3f", row.Psi), metrics.Pct(row.Bound), metrics.Pct(row.Actual),
+			fmt.Sprint(row.WithinBound),
+		)
+	}
+	return t
+}

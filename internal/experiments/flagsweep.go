@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/pipeline"
+)
+
+// DelayCase is one row of the paper's Table VIII: a combination of partial-
+// aggregation delay τ' and global-aggregation delay τ_g regimes.
+type DelayCase struct {
+	Name   string
+	Timing pipeline.Timing
+	// PaperAdvice is Table VIII's recommendation for this case.
+	PaperAdvice string
+}
+
+// DelayCases returns the paper's four τ'/τ_g regimes with training time held
+// fixed so the aggregation regimes dominate the comparison.
+func DelayCases() []DelayCase {
+	base := func(agg, global float64) pipeline.Timing {
+		return pipeline.Timing{TrainBase: 100, TrainJitter: 0.3, AggBase: agg, AggJitter: 0.2, GlobalExtra: global}
+	}
+	return []DelayCase{
+		{"big τ' / big τ_g", base(60, 120), "depends on other factors"},
+		{"small τ' / small τ_g", base(5, 10), "flag level close to top"},
+		{"small τ' / big τ_g", base(5, 200), "flag level close to top"},
+		{"big τ' / small τ_g", base(60, 10), "depends on other factors"},
+	}
+}
+
+// FlagSweepOptions parameterises the Eq. 3 efficiency sweep.
+type FlagSweepOptions struct {
+	Levels, ClusterSize, TopNodes int // 0 -> 4, 3, 3
+	Rounds                        int // 0 -> 15
+	Samples                       int // 0 -> 80
+	Cases                         []DelayCase
+}
+
+func (o *FlagSweepOptions) defaults() {
+	if o.Levels == 0 {
+		o.Levels = 4
+	}
+	if o.ClusterSize == 0 {
+		o.ClusterSize = 3
+	}
+	if o.TopNodes == 0 {
+		o.TopNodes = 3
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 15
+	}
+	if o.Samples == 0 {
+		o.Samples = 80
+	}
+	if o.Cases == nil {
+		o.Cases = DelayCases()
+	}
+}
+
+// FlagSweepRow holds one delay case's ν per flag level.
+type FlagSweepRow struct {
+	Case DelayCase
+	// Nu[l] is the mean efficiency indicator with flag level l.
+	Nu []float64
+	// BestFlag is the flag level with the highest ν.
+	BestFlag int
+}
+
+// RunFlagSweep measures the efficiency indicator ν = (σ_p+σ_g)/σ for every
+// admissible flag level under every delay case.
+func RunFlagSweep(o FlagSweepOptions) ([]FlagSweepRow, error) {
+	o.defaults()
+	base := abdhfl.Scenario{
+		Levels: o.Levels, ClusterSize: o.ClusterSize, TopNodes: o.TopNodes,
+		Rounds: o.Rounds, SamplesPerClient: o.Samples,
+		TestSamples: 600, ValidationSamples: 400, EvalEvery: o.Rounds,
+	}.WithDefaults()
+	mat, err := abdhfl.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	maxFlag := mat.Tree.Bottom() - 1
+	var out []FlagSweepRow
+	for _, dc := range o.Cases {
+		row := FlagSweepRow{Case: dc}
+		bestNu := -1.0
+		for fl := 0; fl <= maxFlag; fl++ {
+			res, err := mat.RunPipeline(1, fl, dc.Timing)
+			if err != nil {
+				return nil, err
+			}
+			row.Nu = append(row.Nu, res.MeanNu)
+			if res.MeanNu > bestNu {
+				bestNu = res.MeanNu
+				row.BestFlag = fl
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FlagSweepTable renders the sweep.
+func FlagSweepTable(rows []FlagSweepRow) metrics.Table {
+	if len(rows) == 0 {
+		return metrics.Table{}
+	}
+	header := []string{"delay case"}
+	for fl := range rows[0].Nu {
+		header = append(header, fmt.Sprintf("nu @ lF=%d", fl))
+	}
+	header = append(header, "advice")
+	t := metrics.Table{Header: header}
+	for _, r := range rows {
+		row := []string{r.Case.Name}
+		for _, nu := range r.Nu {
+			row = append(row, fmt.Sprintf("%.3f", nu))
+		}
+		row = append(row, fmt.Sprintf("best nu at lF=%d; paper: %s", r.BestFlag, r.Case.PaperAdvice))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl"
+	"abdhfl/internal/metrics"
+)
+
+// SchemesOptions parameterises the Table III/IV scheme comparison.
+type SchemesOptions struct {
+	Rounds     int     // 0 -> 25
+	Samples    int     // 0 -> 120
+	Malicious  float64 // 0 -> 0.40
+	Dist       string  // "" -> iid
+	Aggregator string  // "" -> multi-krum
+	Protocol   string  // "" -> voting
+}
+
+func (o *SchemesOptions) defaults() {
+	if o.Rounds == 0 {
+		o.Rounds = 25
+	}
+	if o.Samples == 0 {
+		o.Samples = 120
+	}
+	if o.Malicious == 0 {
+		o.Malicious = 0.40
+	}
+	if o.Dist == "" {
+		o.Dist = "iid"
+	}
+	if o.Aggregator == "" {
+		o.Aggregator = "multi-krum"
+	}
+	if o.Protocol == "" {
+		o.Protocol = "voting"
+	}
+}
+
+// SchemeResult is one scheme's measured robustness and cost.
+type SchemeResult struct {
+	Scheme          int
+	Partial, Global string // "BRA" / "CBA"
+	Accuracy        float64
+	ModelTransfers  int
+	ScalarMessages  int
+}
+
+// RunSchemes measures all four Table III schemes on the same workload.
+func RunSchemes(o SchemesOptions) ([]SchemeResult, error) {
+	o.defaults()
+	kinds := map[int][2]string{
+		1: {"BRA", "CBA"}, 2: {"CBA", "BRA"}, 3: {"BRA", "BRA"}, 4: {"CBA", "CBA"},
+	}
+	var out []SchemeResult
+	for scheme := 1; scheme <= 4; scheme++ {
+		s := abdhfl.Scenario{
+			Distribution:      abdhfl.Distribution(o.Dist),
+			Attack:            abdhfl.AttackType1,
+			MaliciousFraction: o.Malicious,
+			Rounds:            o.Rounds,
+			SamplesPerClient:  o.Samples,
+			Aggregator:        o.Aggregator,
+			TopProtocol:       o.Protocol,
+			Scheme:            scheme,
+			EvalEvery:         o.Rounds,
+		}.WithDefaults()
+		m, err := abdhfl.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.RunHFL(1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SchemeResult{
+			Scheme:         scheme,
+			Partial:        kinds[scheme][0],
+			Global:         kinds[scheme][1],
+			Accuracy:       res.FinalAccuracy,
+			ModelTransfers: res.Comm.ModelTransfers,
+			ScalarMessages: res.Comm.ScalarMessages,
+		})
+	}
+	return out, nil
+}
+
+// SchemesTable renders the scheme comparison.
+func SchemesTable(results []SchemeResult) metrics.Table {
+	t := metrics.Table{Header: []string{
+		"scheme", "partial", "global", "accuracy", "model transfers", "scalar msgs",
+	}}
+	for _, r := range results {
+		t.AddRow(
+			fmt.Sprintf("scheme %d", r.Scheme),
+			r.Partial, r.Global,
+			metrics.Pct(r.Accuracy),
+			fmt.Sprint(r.ModelTransfers),
+			fmt.Sprint(r.ScalarMessages),
+		)
+	}
+	return t
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/pipeline"
+)
+
+// TradeoffOptions parameterises the flag-level trade-off study: the accuracy
+// side of §III-D2 (deeper flag levels raise ν and shorten wall-clock but pay
+// staleness), complementing the ν-only sweep of Table VIII.
+type TradeoffOptions struct {
+	Levels, ClusterSize, TopNodes int // 0 -> 3, 4, 4
+	Rounds                        int // 0 -> 20
+	Samples                       int // 0 -> 100
+	Timing                        pipeline.Timing
+}
+
+func (o *TradeoffOptions) defaults() {
+	if o.Levels == 0 {
+		o.Levels = 3
+	}
+	if o.ClusterSize == 0 {
+		o.ClusterSize = 4
+	}
+	if o.TopNodes == 0 {
+		o.TopNodes = 4
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 20
+	}
+	if o.Samples == 0 {
+		o.Samples = 100
+	}
+	if o.Timing == (pipeline.Timing{}) {
+		o.Timing = pipeline.DefaultTiming()
+	}
+}
+
+// TradeoffRow is one flag level's measured efficiency/accuracy pair.
+type TradeoffRow struct {
+	FlagLevel int
+	MeanNu    float64
+	// Duration is the virtual time to complete all rounds.
+	Duration float64
+	// Accuracy is the final test accuracy at the fixed round count.
+	Accuracy float64
+	// Merges counts correction-factor applications.
+	Merges int
+}
+
+// RunTradeoff measures, for every admissible flag level, the efficiency
+// indicator, virtual duration, and final accuracy at a fixed round budget.
+func RunTradeoff(o TradeoffOptions) ([]TradeoffRow, error) {
+	o.defaults()
+	base := abdhfl.Scenario{
+		Levels: o.Levels, ClusterSize: o.ClusterSize, TopNodes: o.TopNodes,
+		Rounds: o.Rounds, SamplesPerClient: o.Samples,
+		TestSamples: 600, ValidationSamples: 400, EvalEvery: o.Rounds,
+	}.WithDefaults()
+	mat, err := abdhfl.Build(base)
+	if err != nil {
+		return nil, err
+	}
+	var out []TradeoffRow
+	for fl := 0; fl <= mat.Tree.Bottom()-1; fl++ {
+		res, err := mat.RunPipeline(1, fl, o.Timing)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TradeoffRow{
+			FlagLevel: fl,
+			MeanNu:    res.MeanNu,
+			Duration:  float64(res.Duration),
+			Accuracy:  res.FinalAccuracy,
+			Merges:    res.MergedGlobals,
+		})
+	}
+	return out, nil
+}
+
+// TradeoffTable renders the trade-off study.
+func TradeoffTable(rows []TradeoffRow) metrics.Table {
+	t := metrics.Table{Header: []string{"flag level", "mean nu", "virtual ms", "accuracy", "merges"}}
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprint(r.FlagLevel),
+			fmt.Sprintf("%.3f", r.MeanNu),
+			fmt.Sprintf("%.0f", r.Duration),
+			metrics.Pct(r.Accuracy),
+			fmt.Sprint(r.Merges),
+		)
+	}
+	return t
+}

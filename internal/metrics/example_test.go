@@ -1,0 +1,36 @@
+package metrics_test
+
+import (
+	"fmt"
+	"os"
+
+	"abdhfl/internal/metrics"
+)
+
+// Aligned plain-text tables for experiment reports.
+func ExampleTable_Render() {
+	t := metrics.Table{Header: []string{"system", "accuracy"}}
+	t.AddRow("ABD-HFL", "82.9%")
+	t.AddRow("Vanilla FL", "10.5%")
+	fmt.Print(t.Render())
+	// Output:
+	// system      accuracy
+	// ----------  --------
+	// ABD-HFL     82.9%
+	// Vanilla FL  10.5%
+}
+
+// Repeated runs aggregate into a mean ± 95% CI series.
+func ExampleAggregate() {
+	curves := []metrics.Curve{
+		{Rounds: []int{10, 20}, Values: []float64{0.50, 0.80}},
+		{Rounds: []int{10, 20}, Values: []float64{0.54, 0.84}},
+		{Rounds: []int{10, 20}, Values: []float64{0.52, 0.82}},
+	}
+	s := metrics.Aggregate("abdhfl", curves)
+	_ = s.WriteCSV(os.Stdout)
+	// Output:
+	// round,mean,lo,hi,stddev,count
+	// 10,0.520000,0.497368,0.542632,0.016330,3
+	// 20,0.820000,0.797368,0.842632,0.016330,3
+}

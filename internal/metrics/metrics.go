@@ -1,0 +1,212 @@
+// Package metrics aggregates experiment outputs: convergence curves across
+// repeated runs (mean and confidence band, as in the paper's Fig 3), and
+// plain-text / CSV table rendering for the result tables.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one position of an aggregated curve.
+type Point struct {
+	Round          int
+	Mean           float64
+	Lo, Hi         float64 // confidence band
+	Stddev         float64
+	Count          int
+	MinVal, MaxVal float64
+}
+
+// Series is an aggregated convergence curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Curve is a single run's (round, value) sequence.
+type Curve struct {
+	Rounds []int
+	Values []float64
+}
+
+// zFor95 is the normal z-score of a two-sided 95% interval.
+const zFor95 = 1.959963984540054
+
+// MeanCI returns the sample mean and the half-width of its 95% confidence
+// interval (normal approximation). For fewer than two samples the half-width
+// is 0.
+func MeanCI(xs []float64) (mean, half float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	variance := 0.0
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= n - 1
+	return mean, zFor95 * math.Sqrt(variance/n)
+}
+
+// Aggregate merges repeated runs' curves into a mean ± CI series. Curves
+// must share round positions; rounds present in only some curves are
+// aggregated over the curves that have them.
+func Aggregate(name string, curves []Curve) Series {
+	byRound := map[int][]float64{}
+	for _, c := range curves {
+		for i, r := range c.Rounds {
+			byRound[r] = append(byRound[r], c.Values[i])
+		}
+	}
+	rounds := make([]int, 0, len(byRound))
+	for r := range byRound {
+		rounds = append(rounds, r)
+	}
+	sort.Ints(rounds)
+	s := Series{Name: name}
+	for _, r := range rounds {
+		xs := byRound[r]
+		mean, half := MeanCI(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		_, sd := meanStddev(xs)
+		s.Points = append(s.Points, Point{
+			Round: r, Mean: mean, Lo: mean - half, Hi: mean + half,
+			Stddev: sd, Count: len(xs), MinVal: lo, MaxVal: hi,
+		})
+	}
+	return s
+}
+
+func meanStddev(xs []float64) (mean, sd float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	v := 0.0
+	for _, x := range xs {
+		d := x - mean
+		v += d * d
+	}
+	return mean, math.Sqrt(v / n)
+}
+
+// Final returns the last point of the series, or a zero Point when empty.
+func (s Series) Final() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// WriteCSV emits the series as CSV with a header row.
+func (s Series) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "round,mean,lo,hi,stddev,count\n"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%.6f,%.6f,%d\n",
+			p.Round, p.Mean, p.Lo, p.Hi, p.Stddev, p.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table is a simple aligned text table for experiment reports.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned plain text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV.
+func (t Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.Header}, t.Rows...)
+	for _, row := range rows {
+		cells := make([]string, len(row))
+		for i, c := range row {
+			cells[i] = esc(c)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

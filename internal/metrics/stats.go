@@ -1,0 +1,67 @@
+package metrics
+
+import "math"
+
+// WelchT computes Welch's unequal-variance t-statistic and its
+// Welch-Satterthwaite degrees of freedom for two samples — the standard
+// significance test for "system A's accuracy beats system B's" over repeated
+// runs. Returns (0, 0) when either sample has fewer than two points.
+func WelchT(a, b []float64) (t, df float64) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0
+	}
+	ma, va := meanVariance(a)
+	mb, vb := meanVariance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	denom := math.Sqrt(sa + sb)
+	if denom == 0 {
+		return 0, 0
+	}
+	t = (ma - mb) / denom
+	dfDenom := sa*sa/(na-1) + sb*sb/(nb-1)
+	if dfDenom == 0 {
+		return t, 0
+	}
+	df = (sa + sb) * (sa + sb) / dfDenom
+	return t, df
+}
+
+// meanVariance returns the sample mean and unbiased variance.
+func meanVariance(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	return mean, variance / (n - 1)
+}
+
+// SignificantAt05 reports whether |t| exceeds the two-sided 5% critical
+// value of the t-distribution with the given degrees of freedom (normal
+// approximation above 30 df, conservative table below).
+func SignificantAt05(t, df float64) bool {
+	crit := 1.96
+	switch {
+	case df <= 0:
+		return false
+	case df < 2:
+		crit = 12.71
+	case df < 3:
+		crit = 4.30
+	case df < 5:
+		crit = 2.78
+	case df < 10:
+		crit = 2.26
+	case df < 30:
+		crit = 2.04
+	}
+	return math.Abs(t) > crit
+}

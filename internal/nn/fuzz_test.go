@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+// FuzzReadModel hardens the binary model decoder against corrupted or
+// adversarial streams: it must either return an error or a structurally
+// valid model — never panic, never accept non-finite parameters.
+func FuzzReadModel(f *testing.F) {
+	// Seed with a valid stream and a few mutations.
+	m := New(rng.New(1), 8, 4, 3)
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("ABD1garbage"))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	mutated[6] = 0xFF // implausible layer count
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Any accepted model must be internally consistent.
+		if len(got.Sizes) < 2 {
+			t.Fatal("accepted model with < 2 layers")
+		}
+		if got.NumParams() != len(got.Params()) {
+			t.Fatal("accepted model with inconsistent parameter count")
+		}
+	})
+}

@@ -1,0 +1,216 @@
+// Package nn is a from-scratch neural-network substrate: a multilayer
+// perceptron with ReLU hidden activations and a softmax cross-entropy head,
+// trained by minibatch SGD. It replaces the paper's PyTorch-style DNN — the
+// evaluation only needs a small feed-forward classifier whose parameters can
+// be flattened to a vector for federated aggregation.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// Model is a feed-forward network with len(Sizes)-1 dense layers. Hidden
+// layers use ReLU; the final layer feeds a softmax cross-entropy loss.
+type Model struct {
+	Sizes   []int // layer widths, input first
+	Weights []*tensor.Matrix
+	Biases  []tensor.Vector
+}
+
+// New constructs a model with the given layer sizes and He-initialised
+// weights drawn from r. It panics on fewer than two layers.
+func New(r *rng.RNG, sizes ...int) *Model {
+	if len(sizes) < 2 {
+		panic("nn: model needs at least input and output layers")
+	}
+	m := &Model{Sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := tensor.NewMatrix(out, in)
+		std := math.Sqrt(2 / float64(in))
+		for i := range w.Data {
+			w.Data[i] = std * r.NormFloat64()
+		}
+		m.Weights = append(m.Weights, w)
+		m.Biases = append(m.Biases, tensor.NewVector(out))
+	}
+	return m
+}
+
+// Layers returns the number of dense layers.
+func (m *Model) Layers() int { return len(m.Weights) }
+
+// NumParams returns the total number of trainable parameters.
+func (m *Model) NumParams() int {
+	n := 0
+	for l := range m.Weights {
+		n += len(m.Weights[l].Data) + len(m.Biases[l])
+	}
+	return n
+}
+
+// Clone returns a deep copy of m.
+func (m *Model) Clone() *Model {
+	c := &Model{Sizes: append([]int(nil), m.Sizes...)}
+	for l := range m.Weights {
+		c.Weights = append(c.Weights, m.Weights[l].Clone())
+		c.Biases = append(c.Biases, m.Biases[l].Clone())
+	}
+	return c
+}
+
+// Params flattens all weights and biases into a single vector, layer by
+// layer (weights row-major, then biases). The layout is the wire format used
+// by every aggregation rule.
+func (m *Model) Params() tensor.Vector {
+	p := make(tensor.Vector, 0, m.NumParams())
+	for l := range m.Weights {
+		p = append(p, m.Weights[l].Data...)
+		p = append(p, m.Biases[l]...)
+	}
+	return p
+}
+
+// SetParams loads a flat parameter vector produced by Params. It panics on a
+// length mismatch.
+func (m *Model) SetParams(p tensor.Vector) {
+	if len(p) != m.NumParams() {
+		panic(fmt.Sprintf("nn: SetParams length %d, want %d", len(p), m.NumParams()))
+	}
+	pos := 0
+	for l := range m.Weights {
+		n := copy(m.Weights[l].Data, p[pos:pos+len(m.Weights[l].Data)])
+		pos += n
+		n = copy(m.Biases[l], p[pos:pos+len(m.Biases[l])])
+		pos += n
+	}
+}
+
+// Forward computes the class logits for input x.
+func (m *Model) Forward(x tensor.Vector) tensor.Vector {
+	act := x
+	for l := range m.Weights {
+		z := tensor.NewVector(m.Sizes[l+1])
+		tensor.MatVec(z, m.Weights[l], act)
+		tensor.Add(z, z, m.Biases[l])
+		if l < len(m.Weights)-1 {
+			relu(z)
+		}
+		act = z
+	}
+	return act
+}
+
+// Predict returns the argmax class for input x.
+func (m *Model) Predict(x tensor.Vector) int { return tensor.ArgMax(m.Forward(x)) }
+
+func relu(v tensor.Vector) {
+	for i, x := range v {
+		if x < 0 {
+			v[i] = 0
+		}
+	}
+}
+
+// Softmax writes the softmax of logits into dst (dst may alias logits) using
+// the max-subtraction trick for numerical stability.
+func Softmax(dst, logits tensor.Vector) tensor.Vector {
+	maxL := logits[0]
+	for _, x := range logits[1:] {
+		if x > maxL {
+			maxL = x
+		}
+	}
+	sum := 0.0
+	for i, x := range logits {
+		e := math.Exp(x - maxL)
+		dst[i] = e
+		sum += e
+	}
+	tensor.Scale(dst, 1/sum, dst)
+	return dst
+}
+
+// Grads holds per-layer parameter gradients with the same shapes as a model.
+type Grads struct {
+	Weights []*tensor.Matrix
+	Biases  []tensor.Vector
+}
+
+// NewGrads returns zeroed gradients shaped like m.
+func NewGrads(m *Model) *Grads {
+	g := &Grads{}
+	for l := range m.Weights {
+		g.Weights = append(g.Weights, tensor.NewMatrix(m.Weights[l].Rows, m.Weights[l].Cols))
+		g.Biases = append(g.Biases, tensor.NewVector(len(m.Biases[l])))
+	}
+	return g
+}
+
+// Zero resets all gradient entries.
+func (g *Grads) Zero() {
+	for l := range g.Weights {
+		g.Weights[l].Zero()
+		tensor.Fill(g.Biases[l], 0)
+	}
+}
+
+// Backward accumulates into g the gradient of the softmax cross-entropy loss
+// for sample (x, label) and returns the sample loss. The caller is
+// responsible for averaging (gradients accumulate raw sums).
+func (m *Model) Backward(g *Grads, x tensor.Vector, label int) float64 {
+	L := m.Layers()
+	// Forward pass, caching pre-activation inputs of every layer.
+	acts := make([]tensor.Vector, L+1)
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		z := tensor.NewVector(m.Sizes[l+1])
+		tensor.MatVec(z, m.Weights[l], acts[l])
+		tensor.Add(z, z, m.Biases[l])
+		if l < L-1 {
+			relu(z)
+		}
+		acts[l+1] = z
+	}
+	// Softmax + cross entropy: delta = p - onehot(label).
+	out := acts[L]
+	probs := tensor.NewVector(len(out))
+	Softmax(probs, out)
+	loss := -math.Log(math.Max(probs[label], 1e-12))
+	delta := probs
+	delta[label] -= 1
+	// Backward pass.
+	for l := L - 1; l >= 0; l-- {
+		tensor.AddOuter(g.Weights[l], 1, delta, acts[l])
+		tensor.Axpy(g.Biases[l], 1, delta)
+		if l == 0 {
+			break
+		}
+		prev := tensor.NewVector(m.Sizes[l])
+		tensor.MatTVec(prev, m.Weights[l], delta)
+		// ReLU derivative: zero where the activation was clamped.
+		for i, a := range acts[l] {
+			if a <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	return loss
+}
+
+// Step applies one SGD update: params -= lr/batch * grads.
+func (m *Model) Step(g *Grads, lr float64, batch int) {
+	if batch <= 0 {
+		panic("nn: Step with non-positive batch size")
+	}
+	s := -lr / float64(batch)
+	for l := range m.Weights {
+		tensor.Axpy(tensor.Vector(m.Weights[l].Data), s, tensor.Vector(g.Weights[l].Data))
+		tensor.Axpy(m.Biases[l], s, g.Biases[l])
+	}
+}

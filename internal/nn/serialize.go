@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"abdhfl/internal/tensor"
+)
+
+// The binary model format: a magic tag, the layer-size vector, then the flat
+// parameter vector as little-endian float64s. It is the on-disk / on-wire
+// representation for checkpointing global models and shipping them between
+// out-of-process components.
+
+var magic = [4]byte{'A', 'B', 'D', '1'}
+
+// WriteTo serialises the model. It implements io.WriterTo.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(magic); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(m.Sizes))); err != nil {
+		return n, err
+	}
+	for _, s := range m.Sizes {
+		if err := write(uint32(s)); err != nil {
+			return n, err
+		}
+	}
+	params := m.Params()
+	if err := write(uint64(len(params))); err != nil {
+		return n, err
+	}
+	if err := write([]float64(params)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// ReadModel deserialises a model written by WriteTo.
+func ReadModel(r io.Reader) (*Model, error) {
+	var tag [4]byte
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if tag != magic {
+		return nil, errors.New("nn: not an ABD-HFL model stream")
+	}
+	var nSizes uint32
+	if err := binary.Read(r, binary.LittleEndian, &nSizes); err != nil {
+		return nil, err
+	}
+	if nSizes < 2 || nSizes > 64 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nSizes)
+	}
+	sizes := make([]int, nSizes)
+	for i := range sizes {
+		var s uint32
+		if err := binary.Read(r, binary.LittleEndian, &s); err != nil {
+			return nil, err
+		}
+		if s == 0 || s > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible layer width %d", s)
+		}
+		sizes[i] = int(s)
+	}
+	var nParams uint64
+	if err := binary.Read(r, binary.LittleEndian, &nParams); err != nil {
+		return nil, err
+	}
+	// Compute the implied parameter count BEFORE allocating anything, and
+	// bound it: a corrupt header must not drive a multi-GB allocation.
+	const maxParams = 1 << 26
+	implied := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		implied += sizes[l+1]*sizes[l] + sizes[l+1]
+		if implied > maxParams {
+			return nil, fmt.Errorf("nn: implausible model size (> %d parameters)", maxParams)
+		}
+	}
+	if nParams != uint64(implied) {
+		return nil, fmt.Errorf("nn: parameter count %d does not match shape (want %d)", nParams, implied)
+	}
+	m := &Model{Sizes: sizes}
+	for l := 0; l < len(sizes)-1; l++ {
+		m.Weights = append(m.Weights, tensor.NewMatrix(sizes[l+1], sizes[l]))
+		m.Biases = append(m.Biases, tensor.NewVector(sizes[l+1]))
+	}
+	params := make([]float64, nParams)
+	if err := binary.Read(r, binary.LittleEndian, params); err != nil {
+		return nil, err
+	}
+	for _, p := range params {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return nil, errors.New("nn: model stream contains non-finite parameters")
+		}
+	}
+	m.SetParams(params)
+	return m, nil
+}

@@ -1,0 +1,5 @@
+package nn
+
+import "math"
+
+func ln(x float64) float64 { return math.Log(x) }

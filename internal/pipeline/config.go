@@ -1,0 +1,237 @@
+// Package pipeline implements ABD-HFL's asynchronous pipeline learning
+// workflow on top of the discrete-event simulator: devices and cluster
+// leaders are actors exchanging models over simulated links; a configurable
+// flag level ℓ_F releases partial models downwards so the next global round
+// of local training starts while global aggregation is still in flight, and
+// stale global models are merged into in-progress local models with the
+// correction factor of Eq. (1). The engine measures, per round, the paper's
+// waiting time σ_w, pipelined aggregation time σ_p, global aggregation time
+// σ_g, and the efficiency indicator ν = (σ_p+σ_g)/σ of Eq. (3).
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/simnet"
+	"abdhfl/internal/topology"
+)
+
+// Timing models the virtual durations of compute phases. Link delays come
+// from the simnet latency model; these are node-local costs.
+type Timing struct {
+	// TrainBase/TrainJitter: a device's local-training duration is
+	// TrainBase * (1 + U[0, TrainJitter]) virtual ms.
+	TrainBase, TrainJitter float64
+	// AggBase/AggJitter: a cluster aggregation (the paper's τ').
+	AggBase, AggJitter float64
+	// GlobalExtra is added on top of AggBase for the top-level aggregation
+	// (consensus protocols cost more than one BRA pass; the paper's τ'_g).
+	GlobalExtra float64
+}
+
+// DefaultTiming mirrors a modest edge deployment: training dominates,
+// aggregation is cheap, consensus at the top costs a few aggregations.
+func DefaultTiming() Timing {
+	return Timing{TrainBase: 100, TrainJitter: 0.5, AggBase: 10, AggJitter: 0.2, GlobalExtra: 40}
+}
+
+// AlphaPolicy selects the correction factor α applied when a stale global
+// model is merged into an in-progress local model (Eq. 1).
+type AlphaPolicy interface {
+	// Alpha returns the correction factor in (0, 1]. staleness is the
+	// virtual time between the global model's formation and its merge;
+	// relSize is the fraction of all training data under the receiving
+	// device's flag-level ancestor (the relative dataset size of θ_F).
+	Alpha(staleness, relSize float64) float64
+}
+
+// FixedAlpha ignores context and always returns its value.
+type FixedAlpha float64
+
+// Alpha implements AlphaPolicy.
+func (f FixedAlpha) Alpha(_, _ float64) float64 { return float64(f) }
+
+// AdaptiveAlpha implements the paper's two qualitative rules: α shrinks with
+// global-model staleness (outdated information is penalised) and shrinks as
+// the flag model's relative dataset size grows (a representative flag model
+// leaves the global model little to add).
+type AdaptiveAlpha struct {
+	// Base is the α at zero staleness and zero relative size; zero selects 0.9.
+	Base float64
+	// StalenessScale is the staleness (virtual ms) at which the staleness
+	// discount halves α; zero selects 500.
+	StalenessScale float64
+	// Floor bounds α away from zero; zero selects 0.05.
+	Floor float64
+}
+
+// Alpha implements AlphaPolicy.
+func (a AdaptiveAlpha) Alpha(staleness, relSize float64) float64 {
+	base := a.Base
+	if base == 0 {
+		base = 0.9
+	}
+	scale := a.StalenessScale
+	if scale == 0 {
+		scale = 500
+	}
+	floor := a.Floor
+	if floor == 0 {
+		floor = 0.05
+	}
+	if relSize < 0 {
+		relSize = 0
+	}
+	if relSize > 1 {
+		relSize = 1
+	}
+	alpha := base * (scale / (scale + staleness)) * (1 - relSize)
+	if alpha < floor {
+		alpha = floor
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return alpha
+}
+
+// Config describes one asynchronous pipeline run.
+type Config struct {
+	Tree *topology.Tree
+	// Rounds of global aggregation to complete.
+	Rounds int
+	// FlagLevel ℓ_F in [0, bottom-1]: the level whose partial models are
+	// disseminated as flag models. 0 means the global model itself is the
+	// flag (no pipelining of the top).
+	FlagLevel int
+	// Quorum φ: fraction of a cluster's inputs a leader waits for; zero
+	// selects 1.
+	Quorum float64
+	// CollectTimeout is Algorithm 4's "or Timeout" branch (the
+	// semi-synchronous regime of SHFL): a leader that has waited this many
+	// virtual ms since its first arrival for a round aggregates whatever it
+	// holds, even below the quorum. Zero disables timeouts (pure quorum).
+	CollectTimeout float64
+
+	Local  nn.TrainConfig
+	Hidden []int
+
+	// PartialBRA aggregates intermediate clusters. TopVoting selects the
+	// validation-voting consensus at the top; otherwise TopBRA is used.
+	PartialBRA aggregate.Aggregator
+	TopBRA     aggregate.Aggregator
+	TopVoting  *consensus.Voting
+
+	ClientData       []*dataset.Dataset
+	TestData         *dataset.Dataset
+	ValidationShards []*dataset.Dataset
+
+	Byzantine map[int]bool
+	// Crashed devices never train or upload — failure injection for
+	// Assumption 2: as long as every cluster retains a quorum (φ) of live
+	// members, rounds still complete.
+	Crashed map[int]bool
+
+	Timing  Timing
+	Latency simnet.LatencyModel
+	// Bandwidth, if non-nil, models per-link capacity (volume units per
+	// virtual ms); model transfers then add size/bandwidth to their delay —
+	// the per-level bandwidth factor of Appendix E. Nil = infinite.
+	Bandwidth func(from, to simnet.NodeID) float64
+	Alpha     AlphaPolicy
+
+	Seed uint64
+	// EvalEvery rounds between accuracy evaluations; zero selects 1.
+	EvalEvery int
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Tree == nil {
+		return errors.New("pipeline: Tree is nil")
+	}
+	if err := c.Tree.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 {
+		return errors.New("pipeline: Rounds must be positive")
+	}
+	if c.FlagLevel < 0 || c.FlagLevel > c.Tree.Bottom()-1 {
+		return fmt.Errorf("pipeline: FlagLevel %d out of [0, %d]", c.FlagLevel, c.Tree.Bottom()-1)
+	}
+	if len(c.ClientData) != c.Tree.NumDevices() {
+		return fmt.Errorf("pipeline: %d shards for %d devices", len(c.ClientData), c.Tree.NumDevices())
+	}
+	if c.TestData == nil || c.TestData.Len() == 0 {
+		return errors.New("pipeline: TestData is empty")
+	}
+	if c.PartialBRA == nil {
+		return errors.New("pipeline: PartialBRA is nil")
+	}
+	if c.TopVoting == nil && c.TopBRA == nil {
+		return errors.New("pipeline: set TopBRA or TopVoting")
+	}
+	if c.TopVoting != nil && len(c.ValidationShards) == 0 {
+		return errors.New("pipeline: TopVoting requires ValidationShards")
+	}
+	if c.Quorum < 0 || c.Quorum > 1 {
+		return fmt.Errorf("pipeline: Quorum %v out of [0,1]", c.Quorum)
+	}
+	return nil
+}
+
+func (c *Config) modelSizes() []int {
+	hidden := c.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32}
+	}
+	sizes := []int{dataset.Dim}
+	sizes = append(sizes, hidden...)
+	return append(sizes, dataset.NumClasses)
+}
+
+// RoundTiming holds the paper's per-round pipeline quantities for one global
+// round, averaged over bottom clusters.
+type RoundTiming struct {
+	Round int
+	// SigmaW is the waiting time between a cluster's first local upload and
+	// the arrival of the next flag model.
+	SigmaW float64
+	// SigmaP is the partial-aggregation time hidden by pipelining (flag
+	// level exclusive to level 1).
+	SigmaP float64
+	// SigmaG is the global collection+aggregation time.
+	SigmaG float64
+	// Sigma is the total first-upload-to-global-arrival time.
+	Sigma float64
+	// Nu is the efficiency indicator (σ_p+σ_g)/σ of Eq. (3).
+	Nu float64
+}
+
+// RoundAccuracy is one accuracy measurement.
+type RoundAccuracy struct {
+	Round    int
+	Time     simnet.Time
+	Accuracy float64
+}
+
+// Result is the outcome of an asynchronous run.
+type Result struct {
+	FinalAccuracy float64
+	Curve         []RoundAccuracy
+	Timings       []RoundTiming
+	// MeanNu is the average efficiency indicator across measured rounds.
+	MeanNu float64
+	// Duration is the virtual time at which the last global round completed.
+	Duration simnet.Time
+	// Network reports total traffic.
+	Network simnet.Stats
+	// MergedGlobals counts stale-global merges performed by devices
+	// (correction-factor applications).
+	MergedGlobals int
+}

@@ -1,0 +1,564 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/simnet"
+	"abdhfl/internal/tensor"
+	"abdhfl/internal/topology"
+)
+
+// Message payloads exchanged between actors.
+type (
+	msgLocal struct { // device -> bottom cluster leader
+		round  int
+		params tensor.Vector
+		dev    int
+	}
+	msgPartial struct { // cluster leader -> parent leader / top
+		round  int
+		params tensor.Vector
+		child  int // sender's cluster index at its level
+	}
+	msgFlag struct { // flag-level cluster -> descendants
+		round   int // the round this flag model STARTS (paper's r+1)
+		params  tensor.Vector
+		relSize float64
+	}
+	msgGlobal struct { // top -> everyone
+		round    int
+		params   tensor.Vector
+		formedAt simnet.Time
+	}
+)
+
+// engine wires the actors together and accumulates statistics.
+type engine struct {
+	cfg   Config
+	tree  *topology.Tree
+	sim   *simnet.Sim
+	root  *rng.RNG
+	sizes []int
+
+	deviceLeader []simnet.NodeID // device id -> bottom cluster actor id
+	clusterNode  [][]simnet.NodeID
+
+	// Per-bottom-cluster timing observations, keyed by round.
+	firstArrival  []map[int]simnet.Time
+	flagArrival   []map[int]simnet.Time
+	globalArrival []map[int]simnet.Time
+	// Top observations.
+	firstPartial map[int]simnet.Time
+	globalReady  map[int]simnet.Time
+
+	result    *Result
+	evalModel *nn.Model
+	quorumOf  func(size int) int
+	alpha     AlphaPolicy
+	done      bool
+}
+
+func (e *engine) nodeOfCluster(l, i int) simnet.NodeID { return e.clusterNode[l][i] }
+
+// trainDuration returns the virtual training time of device id for round r.
+func (e *engine) trainDuration(id, round int) simnet.Time {
+	t := e.cfg.Timing.TrainBase
+	if j := e.cfg.Timing.TrainJitter; j > 0 {
+		t *= 1 + j*e.root.Derive(fmt.Sprintf("tdur-%d-%d", id, round)).Float64()
+	}
+	return simnet.Time(t)
+}
+
+// aggDuration returns the virtual aggregation time of a cluster at level l
+// for round r (the paper's τ'); the top level adds GlobalExtra.
+func (e *engine) aggDuration(l, i, round int) simnet.Time {
+	t := e.cfg.Timing.AggBase
+	if j := e.cfg.Timing.AggJitter; j > 0 {
+		t *= 1 + j*e.root.Derive(fmt.Sprintf("adur-%d-%d-%d", l, i, round)).Float64()
+	}
+	if l == 0 {
+		t += e.cfg.Timing.GlobalExtra
+	}
+	return simnet.Time(t)
+}
+
+// deviceActor trains locally, uploads, and merges stale globals (Alg. 2).
+type deviceActor struct {
+	e           *engine
+	id          int
+	relSize     float64
+	training    bool
+	curRound    int
+	stashedFlag *msgFlag
+	pending     []msgGlobal
+	model       *nn.Model
+}
+
+func (d *deviceActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case msgFlag:
+		if m.round >= d.e.cfg.Rounds {
+			return
+		}
+		if d.training {
+			if d.stashedFlag == nil || m.round > d.stashedFlag.round {
+				mm := m
+				d.stashedFlag = &mm
+			}
+			return
+		}
+		if m.round > d.curRound || (m.round == 0 && !d.training) {
+			d.start(ctx, m.round, m.params, m.relSize)
+		}
+	case msgGlobal:
+		// Stale global: merged into the in-progress local model at training
+		// completion (Alg. 2 line 16-18).
+		d.pending = append(d.pending, m)
+	}
+}
+
+func (d *deviceActor) start(ctx *simnet.Context, round int, params tensor.Vector, relSize float64) {
+	d.training = true
+	d.curRound = round
+	d.relSize = relSize
+	startParams := params.Clone()
+	dur := d.e.trainDuration(d.id, round)
+	ctx.After(dur, func(ctx *simnet.Context) { d.finish(ctx, round, startParams) })
+}
+
+func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.Vector) {
+	e := d.e
+	d.model.SetParams(startParams)
+	r := e.root.Derive(fmt.Sprintf("sgd-%d-%d", d.id, round))
+	nn.SGD(d.model, e.cfg.ClientData[d.id], e.cfg.Local, r)
+	out := d.model.Params()
+	// Correction-factor merges for globals that arrived during training.
+	for _, g := range d.pending {
+		staleness := float64(ctx.Now() - g.formedAt)
+		alpha := e.alpha.Alpha(staleness, d.relSize)
+		tensor.Lerp(out, out, g.params, alpha)
+		e.result.MergedGlobals++
+	}
+	d.pending = d.pending[:0]
+	d.training = false
+	ctx.SendVolume(e.deviceLeader[d.id], msgLocal{round: round, params: out, dev: d.id}, int64(len(out)))
+	if d.stashedFlag != nil {
+		f := *d.stashedFlag
+		d.stashedFlag = nil
+		if f.round > round {
+			d.start(ctx, f.round, f.params, f.relSize)
+		}
+	}
+}
+
+// clusterActor is the leader A_{l,i} of an intermediate (or bottom) cluster:
+// collect a quorum, aggregate, forward upwards; at the flag level it also
+// releases the flag model downwards (Alg. 3-5).
+type clusterActor struct {
+	e         *engine
+	cluster   *topology.Cluster
+	parent    simnet.NodeID
+	children  []simnet.NodeID // child cluster actors, or member devices at the bottom
+	collected map[int][]tensor.Vector
+	closed    map[int]bool
+	isBottom  bool
+}
+
+func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
+	e := a.e
+	switch m := msg.Payload.(type) {
+	case msgLocal:
+		a.receive(ctx, m.round, m.params)
+	case msgPartial:
+		a.receive(ctx, m.round, m.params)
+	case msgFlag:
+		// Cascade the flag model downwards (Alg. 5).
+		if a.isBottom {
+			bi := a.cluster.Index
+			if _, ok := e.flagArrival[bi][m.round]; !ok {
+				e.flagArrival[bi][m.round] = ctx.Now()
+			}
+		}
+		for _, ch := range a.children {
+			ctx.SendVolume(ch, m, int64(len(m.params)))
+		}
+	case msgGlobal:
+		if a.isBottom {
+			bi := a.cluster.Index
+			if _, ok := e.globalArrival[bi][m.round]; !ok {
+				e.globalArrival[bi][m.round] = ctx.Now()
+			}
+		}
+		for _, ch := range a.children {
+			ctx.SendVolume(ch, m, int64(len(m.params)))
+		}
+	}
+}
+
+func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector) {
+	e := a.e
+	if a.closed[round] || round >= e.cfg.Rounds {
+		return
+	}
+	if a.isBottom {
+		bi := a.cluster.Index
+		if _, ok := e.firstArrival[bi][round]; !ok {
+			e.firstArrival[bi][round] = ctx.Now()
+		}
+	}
+	first := len(a.collected[round]) == 0
+	a.collected[round] = append(a.collected[round], params)
+	if first && e.cfg.CollectTimeout > 0 {
+		// Algorithm 4's "until M >= φ*C or Timeout": arm the semi-synchronous
+		// deadline at the first arrival for this round.
+		ctx.After(simnet.Time(e.cfg.CollectTimeout), func(ctx *simnet.Context) {
+			if !a.closed[round] && len(a.collected[round]) > 0 {
+				a.aggregateRound(ctx, round)
+			}
+		})
+	}
+	if len(a.collected[round]) < e.quorumOf(a.cluster.Size()) {
+		return
+	}
+	a.aggregateRound(ctx, round)
+}
+
+// aggregateRound closes the round's collection and aggregates whatever
+// arrived (quorum reached or timeout fired).
+func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
+	e := a.e
+	a.closed[round] = true
+	vecs := a.collected[round]
+	delete(a.collected, round)
+	dur := e.aggDuration(a.cluster.Level, a.cluster.Index, round)
+	ctx.After(dur, func(ctx *simnet.Context) {
+		agg, err := e.cfg.PartialBRA.Aggregate(vecs)
+		if err != nil {
+			// A malformed quorum at runtime: drop the round for this cluster.
+			return
+		}
+		ctx.SendVolume(a.parent, msgPartial{round: round, params: agg, child: a.cluster.Index}, int64(len(agg)))
+		if a.cluster.Level == e.cfg.FlagLevel {
+			flag := msgFlag{round: round + 1, params: agg, relSize: a.relSize()}
+			for _, ch := range a.children {
+				ctx.SendVolume(ch, flag, int64(len(agg)))
+			}
+		}
+	})
+}
+
+// relSize is the fraction of all devices under this cluster.
+func (a *clusterActor) relSize() float64 {
+	leaves := len(a.e.tree.LeafDescendants(a.cluster.Level, a.cluster.Index))
+	return float64(leaves) / float64(a.e.tree.NumDevices())
+}
+
+// topActor forms the global model (Alg. 6) and disseminates it.
+type topActor struct {
+	e         *engine
+	collected map[int][]tensor.Vector
+	closed    map[int]bool
+	children  []simnet.NodeID
+	completed int
+}
+
+func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
+	m, ok := msg.Payload.(msgPartial)
+	if !ok {
+		return
+	}
+	e := t.e
+	if t.closed[m.round] || m.round >= e.cfg.Rounds {
+		return
+	}
+	if _, seen := e.firstPartial[m.round]; !seen {
+		e.firstPartial[m.round] = ctx.Now()
+	}
+	t.collected[m.round] = append(t.collected[m.round], m.params)
+	if len(t.collected[m.round]) < e.quorumOf(e.tree.Top().Size()) {
+		return
+	}
+	t.closed[m.round] = true
+	vecs := t.collected[m.round]
+	delete(t.collected, m.round)
+	round := m.round
+	dur := e.aggDuration(0, 0, round)
+	ctx.After(dur, func(ctx *simnet.Context) { t.formGlobal(ctx, round, vecs) })
+}
+
+func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vector) {
+	e := t.e
+	var global tensor.Vector
+	var err error
+	if e.cfg.TopVoting != nil {
+		cctx := &consensus.Context{
+			Members:   len(vecs),
+			Validator: e.shardValidator(),
+			Rand:      e.root.Derive(fmt.Sprintf("vote-%d", round)),
+		}
+		global, _, err = e.cfg.TopVoting.Agree(cctx, vecs)
+	} else {
+		global, err = e.cfg.TopBRA.Aggregate(vecs)
+	}
+	if err != nil {
+		return
+	}
+	e.globalReady[round] = ctx.Now()
+	e.evaluate(round, ctx.Now(), global)
+	gm := msgGlobal{round: round, params: global, formedAt: ctx.Now()}
+	for _, ch := range t.children {
+		ctx.SendVolume(ch, gm, int64(len(global)))
+	}
+	if e.cfg.FlagLevel == 0 {
+		flag := msgFlag{round: round + 1, params: global, relSize: 1}
+		for _, ch := range t.children {
+			ctx.SendVolume(ch, flag, int64(len(global)))
+		}
+	}
+	t.completed++
+	if t.completed >= e.cfg.Rounds {
+		e.done = true
+		e.result.Duration = ctx.Now()
+	}
+}
+
+func (e *engine) shardValidator() consensus.Validator {
+	sizes := e.sizes
+	shards := e.cfg.ValidationShards
+	return func(member int, model tensor.Vector) float64 {
+		m := nn.New(rng.New(1), sizes...)
+		m.SetParams(model)
+		return nn.Accuracy(m, shards[member%len(shards)])
+	}
+}
+
+func (e *engine) evaluate(round int, now simnet.Time, global tensor.Vector) {
+	every := e.cfg.EvalEvery
+	if every <= 0 {
+		every = 1
+	}
+	if (round+1)%every != 0 && round != e.cfg.Rounds-1 {
+		return
+	}
+	e.evalModel.SetParams(global)
+	acc := nn.Accuracy(e.evalModel, e.cfg.TestData)
+	e.result.Curve = append(e.result.Curve, RoundAccuracy{Round: round + 1, Time: now, Accuracy: acc})
+}
+
+// Run executes the asynchronous pipeline workflow and returns accuracy and
+// timing results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Alpha == nil {
+		cfg.Alpha = AdaptiveAlpha{}
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = simnet.Fixed(1)
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	root := rng.New(cfg.Seed)
+	tree := cfg.Tree
+	sim := simnet.New(cfg.Latency, root.Derive("net"))
+	sim.Bandwidth = cfg.Bandwidth
+	e := &engine{
+		cfg:       cfg,
+		tree:      tree,
+		sim:       sim,
+		root:      root,
+		sizes:     cfg.modelSizes(),
+		result:    &Result{},
+		alpha:     cfg.Alpha,
+		evalModel: nn.New(root.Derive("eval"), cfg.modelSizes()...),
+	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = 1
+	}
+	e.quorumOf = func(size int) int {
+		n := int(math.Ceil(quorum * float64(size)))
+		if n < 1 {
+			n = 1
+		}
+		if n > size {
+			n = size
+		}
+		return n
+	}
+
+	// --- Node id allocation.
+	devices := tree.NumDevices()
+	e.clusterNode = make([][]simnet.NodeID, tree.Depth())
+	next := simnet.NodeID(devices)
+	for l := range tree.Clusters {
+		e.clusterNode[l] = make([]simnet.NodeID, len(tree.Clusters[l]))
+		for i := range tree.Clusters[l] {
+			e.clusterNode[l][i] = next
+			next++
+		}
+	}
+	e.deviceLeader = make([]simnet.NodeID, devices)
+	bottom := tree.Bottom()
+	for i, c := range tree.Clusters[bottom] {
+		for _, m := range c.Members {
+			e.deviceLeader[m] = e.clusterNode[bottom][i]
+		}
+	}
+	nBottom := len(tree.Clusters[bottom])
+	e.firstArrival = make([]map[int]simnet.Time, nBottom)
+	e.flagArrival = make([]map[int]simnet.Time, nBottom)
+	e.globalArrival = make([]map[int]simnet.Time, nBottom)
+	for i := 0; i < nBottom; i++ {
+		e.firstArrival[i] = map[int]simnet.Time{}
+		e.flagArrival[i] = map[int]simnet.Time{}
+		e.globalArrival[i] = map[int]simnet.Time{}
+	}
+	e.firstPartial = map[int]simnet.Time{}
+	e.globalReady = map[int]simnet.Time{}
+
+	// --- Register actors.
+	init := nn.New(root.Derive("init"), e.sizes...).Params()
+	devActors := make([]*deviceActor, devices)
+	for id := 0; id < devices; id++ {
+		devActors[id] = &deviceActor{e: e, id: id, curRound: -1, model: nn.New(rng.New(1), e.sizes...)}
+		if !cfg.Crashed[id] {
+			// Crashed devices stay unregistered: the simulator drops their
+			// traffic, exactly like a crash-stop node.
+			sim.Register(simnet.NodeID(id), devActors[id])
+		}
+	}
+	var topA *topActor
+	for l := 0; l < tree.Depth(); l++ {
+		for i, c := range tree.Clusters[l] {
+			if l == 0 {
+				topA = &topActor{e: e, collected: map[int][]tensor.Vector{}, closed: map[int]bool{}}
+				for _, ch := range tree.ChildClusters(0, 0) {
+					topA.children = append(topA.children, e.nodeOfCluster(1, ch.Index))
+				}
+				sim.Register(e.clusterNode[0][0], topA)
+				continue
+			}
+			a := &clusterActor{
+				e:         e,
+				cluster:   c,
+				collected: map[int][]tensor.Vector{},
+				closed:    map[int]bool{},
+				isBottom:  l == bottom,
+			}
+			if l == 1 {
+				a.parent = e.clusterNode[0][0]
+			} else {
+				p := tree.Parent(l, i)
+				a.parent = e.nodeOfCluster(p.Level, p.Index)
+			}
+			if l == bottom {
+				for _, m := range c.Members {
+					a.children = append(a.children, simnet.NodeID(m))
+				}
+			} else {
+				for _, ch := range tree.ChildClusters(l, i) {
+					a.children = append(a.children, e.nodeOfCluster(l+1, ch.Index))
+				}
+			}
+			sim.Register(e.clusterNode[l][i], a)
+		}
+	}
+
+	// --- Bootstrap: every live device receives the initial model as the
+	// round-0 flag at t=0. Crashed devices never start (failure injection);
+	// a quorum φ < 1 lets their clusters proceed without them.
+	for id := 0; id < devices; id++ {
+		if cfg.Crashed[id] {
+			continue
+		}
+		id := id
+		sim.ScheduleAt(0, simnet.NodeID(id), func(ctx *simnet.Context) {
+			devActors[id].start(ctx, 0, init, 1)
+		})
+	}
+	if _, err := sim.Run(0); err != nil {
+		return nil, err
+	}
+	if !e.done {
+		return nil, fmt.Errorf("pipeline: simulation drained after %d/%d rounds", topA.completed, cfg.Rounds)
+	}
+	e.result.Network = sim.Stats()
+	e.computeTimings()
+	if n := len(e.result.Curve); n > 0 {
+		e.result.FinalAccuracy = e.result.Curve[n-1].Accuracy
+	}
+	return e.result, nil
+}
+
+// computeTimings derives the per-round σ_w, σ_p, σ_g, σ and ν series from
+// the recorded observation points, averaged across bottom clusters.
+func (e *engine) computeTimings() {
+	nBottom := len(e.firstArrival)
+	var nuSum float64
+	var nuCount int
+	for round := 0; round < e.cfg.Rounds-1; round++ {
+		var sw, sp, sg, sigma float64
+		count := 0
+		ready, okReady := e.globalReady[round]
+		first, okFirst := e.firstPartial[round]
+		if !okReady || !okFirst {
+			continue
+		}
+		sgTop := float64(ready - first)
+		for b := 0; b < nBottom; b++ {
+			fa, ok1 := e.firstArrival[b][round]
+			fl, ok2 := e.flagArrival[b][round+1]
+			ga, ok3 := e.globalArrival[b][round]
+			if !ok1 || !ok2 || !ok3 {
+				continue
+			}
+			total := float64(ga - fa)
+			wait := float64(fl - fa)
+			if total <= 0 {
+				continue
+			}
+			if wait > total {
+				wait = total
+			}
+			// The paper's decomposition σ = σ_w + σ_p + σ_g assumes disjoint
+			// phases; across clusters the phases can overlap slightly (the
+			// top may start collecting before the last flag lands), so the
+			// measured top-side σ_g is clipped to the non-waiting residual.
+			sgEff := math.Min(sgTop, total-wait)
+			p := total - wait - sgEff
+			sw += wait
+			sp += p
+			sg += sgEff
+			sigma += total
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		t := RoundTiming{
+			Round:  round,
+			SigmaW: sw / float64(count),
+			SigmaP: sp / float64(count),
+			SigmaG: sg / float64(count),
+			Sigma:  sigma / float64(count),
+		}
+		if t.Sigma > 0 {
+			t.Nu = (t.SigmaP + t.SigmaG) / t.Sigma
+		}
+		e.result.Timings = append(e.result.Timings, t)
+		nuSum += t.Nu
+		nuCount++
+	}
+	sort.Slice(e.result.Timings, func(i, j int) bool { return e.result.Timings[i].Round < e.result.Timings[j].Round })
+	if nuCount > 0 {
+		e.result.MeanNu = nuSum / float64(nuCount)
+	}
+}

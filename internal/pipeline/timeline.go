@@ -1,0 +1,49 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTimeline draws the per-round phase breakdown as an ASCII Gantt chart
+// — the textual counterpart of the paper's Fig 2. Each row shows one global
+// round's σ window from the first local upload to the global model's
+// arrival, split into the waiting phase σ_w ('.'), the pipelined partial
+// aggregation σ_p ('='), and the global aggregation σ_g ('#'); during the
+// '=' and '#' spans the devices are already training the next round.
+// width is the number of characters allotted to the longest round.
+func RenderTimeline(timings []RoundTiming, width int) string {
+	if len(timings) == 0 {
+		return "(no timing data)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxSigma := 0.0
+	for _, t := range timings {
+		if t.Sigma > maxSigma {
+			maxSigma = t.Sigma
+		}
+	}
+	if maxSigma == 0 {
+		return "(zero-length rounds)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "σ_w '.' (waiting)   σ_p '=' (partial agg, pipelined)   σ_g '#' (global agg, pipelined)\n\n")
+	for _, t := range timings {
+		scale := float64(width) / maxSigma
+		w := int(t.SigmaW*scale + 0.5)
+		p := int(t.SigmaP*scale + 0.5)
+		g := int(t.SigmaG*scale + 0.5)
+		if w+p+g == 0 {
+			w = 1
+		}
+		fmt.Fprintf(&b, "round %3d  |%s%s%s|  σ=%.0f ν=%.2f\n",
+			t.Round,
+			strings.Repeat(".", w),
+			strings.Repeat("=", p),
+			strings.Repeat("#", g),
+			t.Sigma, t.Nu)
+	}
+	return b.String()
+}

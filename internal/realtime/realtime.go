@@ -1,0 +1,432 @@
+// Package realtime is the goroutine implementation of ABD-HFL: where
+// internal/pipeline simulates the asynchronous protocol on a virtual clock,
+// this package actually runs it — one goroutine per device and per cluster
+// leader, channels as links, no global synchronisation. It exists to
+// demonstrate (and race-test) that the protocol is implementable as written:
+// leaders aggregate as soon as a quorum of models arrives, flag models
+// release the next round while global aggregation is still in flight, and
+// stale globals are merged with the correction factor.
+//
+// Because goroutine scheduling is real, runs are not bit-reproducible (the
+// quorum subset a leader sees first depends on timing); experiments needing
+// determinism use the pipeline or core engines.
+package realtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+	"abdhfl/internal/topology"
+)
+
+// Config describes a realtime run. The rule set mirrors pipeline.Config.
+type Config struct {
+	Tree      *topology.Tree
+	Rounds    int
+	FlagLevel int
+	// Quorum φ: fraction of inputs a leader waits for; zero selects 1.
+	Quorum float64
+
+	Local  nn.TrainConfig
+	Hidden []int
+
+	PartialBRA aggregate.Aggregator
+	TopVoting  *consensus.Voting
+	TopBRA     aggregate.Aggregator
+
+	ClientData       []*dataset.Dataset
+	TestData         *dataset.Dataset
+	ValidationShards []*dataset.Dataset
+
+	// Alpha is the fixed correction factor for stale-global merges; zero
+	// selects 0.5.
+	Alpha float64
+	// TrainDelay, if positive, is slept by each device after its SGD pass —
+	// it emulates heavier local compute so the protocol's asynchrony
+	// (stale-global merges during training) is actually exercised on fast
+	// hardware.
+	TrainDelay time.Duration
+	Seed       uint64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Tree == nil {
+		return errors.New("realtime: Tree is nil")
+	}
+	if err := c.Tree.Validate(); err != nil {
+		return err
+	}
+	if c.Rounds <= 0 {
+		return errors.New("realtime: Rounds must be positive")
+	}
+	if c.FlagLevel < 0 || c.FlagLevel > c.Tree.Bottom()-1 {
+		return fmt.Errorf("realtime: FlagLevel %d out of range", c.FlagLevel)
+	}
+	if len(c.ClientData) != c.Tree.NumDevices() {
+		return fmt.Errorf("realtime: %d shards for %d devices", len(c.ClientData), c.Tree.NumDevices())
+	}
+	if c.TestData == nil || c.TestData.Len() == 0 {
+		return errors.New("realtime: TestData is empty")
+	}
+	if c.PartialBRA == nil {
+		return errors.New("realtime: PartialBRA is nil")
+	}
+	if c.TopVoting == nil && c.TopBRA == nil {
+		return errors.New("realtime: set TopBRA or TopVoting")
+	}
+	if c.TopVoting != nil && len(c.ValidationShards) == 0 {
+		return errors.New("realtime: TopVoting requires ValidationShards")
+	}
+	return nil
+}
+
+func (c *Config) modelSizes() []int {
+	hidden := c.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32}
+	}
+	sizes := []int{dataset.Dim}
+	sizes = append(sizes, hidden...)
+	return append(sizes, dataset.NumClasses)
+}
+
+// Result is the outcome of a realtime run.
+type Result struct {
+	FinalAccuracy float64
+	// RoundAccuracy[r] is the test accuracy of global model r.
+	RoundAccuracy []float64
+	// WallTime is the real elapsed time of the run.
+	WallTime time.Duration
+	// Goroutines is the number of worker goroutines that were spawned.
+	Goroutines int
+	// Merges counts correction-factor applications.
+	Merges int
+}
+
+// Message kinds flowing through actor inboxes.
+type kind int
+
+const (
+	kLocal kind = iota
+	kPartial
+	kFlag
+	kGlobal
+)
+
+type envelope struct {
+	kind   kind
+	round  int
+	params tensor.Vector
+}
+
+// Run executes the protocol with real goroutines and blocks until the last
+// global round is formed and all actors have drained.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	quorum := cfg.Quorum
+	if quorum == 0 {
+		quorum = 1
+	}
+	tree := cfg.Tree
+	bottom := tree.Bottom()
+	sizes := cfg.modelSizes()
+	root := rng.New(cfg.Seed)
+	initParams := nn.New(root.Derive("init"), sizes...).Params()
+
+	// Inbox channels. Buffers are sized so no send can block forever: each
+	// actor receives at most (members * rounds) messages of each kind.
+	devices := tree.NumDevices()
+	devInbox := make([]chan envelope, devices)
+	for i := range devInbox {
+		devInbox[i] = make(chan envelope, 4*cfg.Rounds+8)
+	}
+	clusterInbox := make([][]chan envelope, tree.Depth())
+	for l := range clusterInbox {
+		clusterInbox[l] = make([]chan envelope, len(tree.Clusters[l]))
+		for i, c := range tree.Clusters[l] {
+			clusterInbox[l][i] = make(chan envelope, (c.Size()+4)*(cfg.Rounds+2))
+		}
+	}
+	done := make(chan struct{})
+	var merges sync.Mutex
+	mergeCount := 0
+
+	result := &Result{RoundAccuracy: make([]float64, cfg.Rounds)}
+	var wg sync.WaitGroup
+	goroutines := 0
+
+	quorumOf := func(size int) int {
+		n := int(quorum*float64(size) + 0.999999)
+		if n < 1 {
+			n = 1
+		}
+		if n > size {
+			n = size
+		}
+		return n
+	}
+
+	// --- Device goroutines.
+	leaderOf := make([]chan envelope, devices)
+	for i, c := range tree.Clusters[bottom] {
+		for _, m := range c.Members {
+			leaderOf[m] = clusterInbox[bottom][i]
+		}
+	}
+	for id := 0; id < devices; id++ {
+		id := id
+		wg.Add(1)
+		goroutines++
+		go func() {
+			defer wg.Done()
+			model := nn.New(rng.New(1), sizes...)
+			cur := initParams.Clone()
+			round := 0
+			var stashedFlag *envelope
+			countMerge := func() {
+				merges.Lock()
+				mergeCount++
+				merges.Unlock()
+			}
+			for round < cfg.Rounds {
+				// Train the current round.
+				model.SetParams(cur)
+				nn.SGD(model, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
+				if cfg.TrainDelay > 0 {
+					time.Sleep(cfg.TrainDelay)
+				}
+				out := model.Params()
+				// Drain the inbox: merge globals that arrived while training
+				// (Alg. 2's correction factor), stash flags for the next round.
+				drained := false
+				for !drained {
+					select {
+					case env := <-devInbox[id]:
+						switch env.kind {
+						case kGlobal:
+							tensor.Lerp(out, out, env.params, alpha)
+							countMerge()
+						case kFlag:
+							if stashedFlag == nil || env.round > stashedFlag.round {
+								env := env
+								stashedFlag = &env
+							}
+						}
+					default:
+						drained = true
+					}
+				}
+				select {
+				case leaderOf[id] <- envelope{kind: kLocal, round: round, params: out}:
+				case <-done:
+					return
+				}
+				// Wait for the next flag model (or termination).
+				next := round + 1
+				if next >= cfg.Rounds {
+					return
+				}
+				if stashedFlag != nil && stashedFlag.round >= next {
+					cur = stashedFlag.params.Clone()
+					round = stashedFlag.round
+					stashedFlag = nil
+					continue
+				}
+				stashedFlag = nil
+				waiting := true
+				for waiting {
+					var env envelope
+					select {
+					case env = <-devInbox[id]:
+					case <-done:
+						return
+					}
+					switch {
+					case env.kind == kGlobal:
+						// Idle-time global: blend into the next start model.
+						tensor.Lerp(cur, cur, env.params, alpha)
+						countMerge()
+					case env.kind == kFlag && env.round >= next:
+						cur = env.params.Clone()
+						round = env.round
+						waiting = false
+					}
+				}
+			}
+		}()
+	}
+
+	// --- Cluster leader goroutines (levels bottom..1).
+	for l := bottom; l >= 1; l-- {
+		for ci, c := range tree.Clusters[l] {
+			l, ci, c := l, ci, c
+			var parent chan envelope
+			if l == 1 {
+				parent = clusterInbox[0][0]
+			} else {
+				p := tree.Parent(l, ci)
+				parent = clusterInbox[p.Level][p.Index]
+			}
+			var children []chan envelope
+			if l == bottom {
+				for _, m := range c.Members {
+					children = append(children, devInbox[m])
+				}
+			} else {
+				for _, ch := range tree.ChildClusters(l, ci) {
+					children = append(children, clusterInbox[l+1][ch.Index])
+				}
+			}
+			wg.Add(1)
+			goroutines++
+			go func() {
+				defer wg.Done()
+				collected := map[int][]tensor.Vector{}
+				closed := map[int]bool{}
+				need := quorumOf(c.Size())
+				for {
+					var env envelope
+					select {
+					case env = <-clusterInbox[l][ci]:
+					case <-done:
+						return
+					}
+					switch env.kind {
+					case kLocal, kPartial:
+						if closed[env.round] {
+							continue
+						}
+						collected[env.round] = append(collected[env.round], env.params)
+						if len(collected[env.round]) < need {
+							continue
+						}
+						closed[env.round] = true
+						vecs := collected[env.round]
+						delete(collected, env.round)
+						agg, err := cfg.PartialBRA.Aggregate(vecs)
+						if err != nil {
+							continue
+						}
+						out := envelope{kind: kPartial, round: env.round, params: agg}
+						select {
+						case parent <- out:
+						case <-done:
+							return
+						}
+						if l == cfg.FlagLevel && env.round+1 < cfg.Rounds {
+							flag := envelope{kind: kFlag, round: env.round + 1, params: agg}
+							for _, ch := range children {
+								select {
+								case ch <- flag:
+								case <-done:
+									return
+								}
+							}
+						}
+					case kFlag, kGlobal:
+						for _, ch := range children {
+							select {
+							case ch <- env:
+							case <-done:
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+	}
+
+	// --- Top goroutine.
+	evalModel := nn.New(root.Derive("eval"), sizes...)
+	validator := func(member int, model tensor.Vector) float64 {
+		m := nn.New(rng.New(1), sizes...)
+		m.SetParams(model)
+		return nn.Accuracy(m, cfg.ValidationShards[member%len(cfg.ValidationShards)])
+	}
+	var topChildren []chan envelope
+	for _, ch := range tree.ChildClusters(0, 0) {
+		topChildren = append(topChildren, clusterInbox[1][ch.Index])
+	}
+	wg.Add(1)
+	goroutines++
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		collected := map[int][]tensor.Vector{}
+		closedRounds := map[int]bool{}
+		need := quorumOf(tree.Top().Size())
+		completed := 0
+		for completed < cfg.Rounds {
+			env := <-clusterInbox[0][0]
+			if env.kind != kPartial || closedRounds[env.round] {
+				continue
+			}
+			collected[env.round] = append(collected[env.round], env.params)
+			if len(collected[env.round]) < need {
+				continue
+			}
+			closedRounds[env.round] = true
+			vecs := collected[env.round]
+			delete(collected, env.round)
+			var global tensor.Vector
+			var err error
+			if cfg.TopVoting != nil {
+				cctx := &consensus.Context{
+					Members:   len(vecs),
+					Validator: validator,
+					Rand:      root.Derive(fmt.Sprintf("vote-%d", env.round)),
+				}
+				global, _, err = cfg.TopVoting.Agree(cctx, vecs)
+			} else {
+				global, err = cfg.TopBRA.Aggregate(vecs)
+			}
+			if err != nil {
+				continue
+			}
+			evalModel.SetParams(global)
+			result.RoundAccuracy[env.round] = nn.Accuracy(evalModel, cfg.TestData)
+			completed++
+			gm := envelope{kind: kGlobal, round: env.round, params: global}
+			for _, ch := range topChildren {
+				ch <- gm
+			}
+			if cfg.FlagLevel == 0 && env.round+1 < cfg.Rounds {
+				flag := envelope{kind: kFlag, round: env.round + 1, params: global}
+				for _, ch := range topChildren {
+					ch <- flag
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	wg.Wait()
+	result.WallTime = time.Since(start)
+	result.Goroutines = goroutines
+	merges.Lock()
+	result.Merges = mergeCount
+	merges.Unlock()
+	for r := cfg.Rounds - 1; r >= 0; r-- {
+		if result.RoundAccuracy[r] > 0 {
+			result.FinalAccuracy = result.RoundAccuracy[r]
+			break
+		}
+	}
+	return result, nil
+}

@@ -1,0 +1,170 @@
+package realtime
+
+import (
+	"testing"
+	"time"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/attack"
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/nn"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/topology"
+)
+
+func buildConfig(t testing.TB, levels, m, top, rounds, flagLevel, byz int) Config {
+	t.Helper()
+	tree, err := topology.NewECSM(levels, m, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(21)
+	devices := tree.NumDevices()
+	full := dataset.Generate(r.Derive("train"), devices*60, dataset.DefaultGen())
+	shards := dataset.PartitionIID(r.Derive("part"), full, devices)
+	test := dataset.Generate(r.Derive("test"), 400, dataset.DefaultGen())
+	valPool := dataset.Generate(r.Derive("val"), 300, dataset.DefaultGen())
+	valShards := dataset.PartitionIID(r.Derive("valpart"), valPool, top)
+	for id := 0; id < byz; id++ {
+		attack.LabelFlipAll{Target: 9}.Poison(r.Derive("poison"), shards[id])
+	}
+	voting := consensus.Voting{}
+	return Config{
+		Tree:             tree,
+		Rounds:           rounds,
+		FlagLevel:        flagLevel,
+		Local:            nn.TrainConfig{LearningRate: 0.1, BatchSize: 16, Iterations: 5},
+		PartialBRA:       aggregate.NewMultiKrum(0.25),
+		TopVoting:        &voting,
+		ClientData:       shards,
+		TestData:         test,
+		ValidationShards: valShards,
+		Seed:             5,
+	}
+}
+
+// runWithTimeout guards against engine deadlocks hanging the test binary.
+func runWithTimeout(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := Run(cfg)
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatal("realtime run deadlocked")
+		return nil
+	}
+}
+
+func TestRealtimeLearns(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 20, 1, 0)
+	res := runWithTimeout(t, cfg)
+	if res.FinalAccuracy < 0.45 {
+		t.Fatalf("realtime accuracy = %v", res.FinalAccuracy)
+	}
+	if res.Goroutines < 8+4+2+1 {
+		t.Fatalf("goroutines = %d, expected one per device and cluster", res.Goroutines)
+	}
+	if res.WallTime <= 0 {
+		t.Fatal("no wall time")
+	}
+}
+
+func TestRealtimeFlagLevelZero(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 8, 0, 0)
+	res := runWithTimeout(t, cfg)
+	if res.FinalAccuracy < 0.3 {
+		t.Fatalf("accuracy = %v", res.FinalAccuracy)
+	}
+}
+
+func TestRealtimeMergesHappen(t *testing.T) {
+	// Slow local training down so globals reliably arrive mid-training and
+	// the correction-factor path is exercised. Whether a given run merges is
+	// inherently scheduling-dependent (race instrumentation skews the
+	// compute balance), so allow a few attempts — the property under test is
+	// that the merge path WORKS, not that a particular interleaving occurs.
+	for attempt := 0; attempt < 4; attempt++ {
+		cfg := buildConfig(t, 3, 2, 2, 12, 1, 0)
+		cfg.TrainDelay = time.Duration(5*(attempt+1)) * time.Millisecond
+		res := runWithTimeout(t, cfg)
+		if res.Merges > 0 {
+			return
+		}
+	}
+	t.Fatal("no correction-factor merges across 4 attempts")
+}
+
+func TestRealtimeUnderPoisoning(t *testing.T) {
+	// 25% Type I poisoning on the paper tree shape; protocol must complete
+	// and keep learning.
+	cfg := buildConfig(t, 3, 4, 4, 12, 1, 16)
+	res := runWithTimeout(t, cfg)
+	if res.FinalAccuracy < 0.35 {
+		t.Fatalf("accuracy under poisoning = %v", res.FinalAccuracy)
+	}
+}
+
+func TestRealtimeTopBRA(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 6, 1, 0)
+	cfg.TopVoting = nil
+	cfg.TopBRA = aggregate.Median{}
+	res := runWithTimeout(t, cfg)
+	if res.FinalAccuracy <= 0 {
+		t.Fatal("no accuracy recorded")
+	}
+}
+
+func TestRealtimeAllRoundsEvaluated(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 7, 1, 0)
+	res := runWithTimeout(t, cfg)
+	if len(res.RoundAccuracy) != 7 {
+		t.Fatalf("round accuracies = %d", len(res.RoundAccuracy))
+	}
+	for r, acc := range res.RoundAccuracy {
+		if acc <= 0 {
+			t.Fatalf("round %d has no accuracy", r)
+		}
+	}
+}
+
+func TestRealtimeValidation(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 5, 1, 0)
+	bad := cfg
+	bad.Rounds = 0
+	if _, err := Run(bad); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	bad = cfg
+	bad.FlagLevel = 5
+	if _, err := Run(bad); err == nil {
+		t.Fatal("bad flag level accepted")
+	}
+	bad = cfg
+	bad.TopVoting = nil
+	if _, err := Run(bad); err == nil {
+		t.Fatal("missing top rule accepted")
+	}
+}
+
+func BenchmarkRealtime8Devices(b *testing.B) {
+	cfg := buildConfig(b, 3, 2, 2, 5, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package simnet
+
+import "abdhfl/internal/rng"
+
+// LatencyModel computes the delivery delay (in virtual milliseconds) for a
+// message on the link from -> to.
+type LatencyModel interface {
+	Delay(r *rng.RNG, from, to NodeID) float64
+}
+
+// Fixed is a constant-latency model.
+type Fixed float64
+
+// Delay implements LatencyModel.
+func (f Fixed) Delay(*rng.RNG, NodeID, NodeID) float64 { return float64(f) }
+
+// Uniform draws latency uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max float64
+}
+
+// Delay implements LatencyModel.
+func (u Uniform) Delay(r *rng.RNG, _, _ NodeID) float64 {
+	return u.Min + (u.Max-u.Min)*r.Float64()
+}
+
+// LogNormal draws latency from Base * LogNormal(0, Sigma): a heavy-tailed
+// model matching wide-area links with occasional stragglers — the regime
+// ABD-HFL's partial synchrony assumption targets (finite but unbounded).
+type LogNormal struct {
+	Base  float64
+	Sigma float64
+}
+
+// Delay implements LatencyModel.
+func (l LogNormal) Delay(r *rng.RNG, _, _ NodeID) float64 {
+	return l.Base * r.LogNormal(0, l.Sigma)
+}
+
+// PerLink dispatches to a custom function, allowing level-dependent
+// latencies (e.g. slower WAN links near the top of the tree).
+type PerLink func(r *rng.RNG, from, to NodeID) float64
+
+// Delay implements LatencyModel.
+func (p PerLink) Delay(r *rng.RNG, from, to NodeID) float64 { return p(r, from, to) }

@@ -1,0 +1,228 @@
+// Package simnet is a deterministic discrete-event network simulator: nodes
+// are event handlers addressed by integer ids, messages are delivered after
+// a per-link latency drawn from a configurable model, and a virtual clock
+// advances from event to event. ABD-HFL's partial-synchrony assumption
+// (arbitrary, finite, unbounded delivery time) maps onto unbounded latency
+// distributions; determinism makes the pipeline timing quantities of the
+// paper (σ_w, σ_p, σ_g, ν) exactly reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+
+	"abdhfl/internal/rng"
+)
+
+// Time is virtual simulation time in milliseconds.
+type Time float64
+
+// NodeID identifies a simulated node.
+type NodeID int
+
+// Message is a payload in flight between two nodes.
+type Message struct {
+	From, To NodeID
+	Payload  any
+	// SentAt and At are the send and delivery times.
+	SentAt, At Time
+}
+
+// Handler is a simulated node: it reacts to delivered messages and timers.
+type Handler interface {
+	// OnMessage is invoked when a message is delivered to the node.
+	OnMessage(ctx *Context, msg Message)
+}
+
+// TimerFunc is a scheduled callback.
+type TimerFunc func(ctx *Context)
+
+// event is a queue entry: either a message delivery or a timer.
+type event struct {
+	at    Time
+	seq   uint64 // tie-break so simultaneous events fire in schedule order
+	msg   *Message
+	timer TimerFunc
+	node  NodeID
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Stats aggregates traffic counters for communication-cost accounting.
+type Stats struct {
+	Messages int   // messages delivered
+	Volume   int64 // payload volume in abstract units (see Sim.SendVolume)
+}
+
+// Sim is the simulator instance. It is not safe for concurrent use; node
+// handlers run sequentially in virtual-time order.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	nodes   map[NodeID]Handler
+	latency LatencyModel
+	rng     *rng.RNG
+	stats   Stats
+	// Trace, if non-nil, receives every delivered message.
+	Trace func(msg Message)
+	// MaxEvents guards against runaway protocols; zero means 10 million.
+	MaxEvents int
+	// Bandwidth, if non-nil, returns the link capacity from->to in volume
+	// units per virtual millisecond; a message of volume v then adds
+	// v/bandwidth to its delivery delay. It models the paper's Appendix E
+	// observation that per-level bandwidth differences dominate when models
+	// are large. Nil means infinite bandwidth.
+	Bandwidth func(from, to NodeID) float64
+}
+
+// New returns a simulator using the given latency model and random stream.
+func New(latency LatencyModel, r *rng.RNG) *Sim {
+	if latency == nil {
+		latency = Fixed(1)
+	}
+	if r == nil {
+		r = rng.New(0)
+	}
+	return &Sim{nodes: make(map[NodeID]Handler), latency: latency, rng: r}
+}
+
+// Register binds a handler to a node id, replacing any previous binding.
+func (s *Sim) Register(id NodeID, h Handler) { s.nodes[id] = h }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Stats returns the traffic counters accumulated so far.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Context is the API a handler uses to interact with the simulator during an
+// event callback.
+type Context struct {
+	sim  *Sim
+	self NodeID
+}
+
+// Self returns the node id the current callback belongs to.
+func (c *Context) Self() NodeID { return c.self }
+
+// Now returns the current virtual time.
+func (c *Context) Now() Time { return c.sim.now }
+
+// Rand returns the simulator's random stream.
+func (c *Context) Rand() *rng.RNG { return c.sim.rng }
+
+// Send enqueues a message to the given node with latency drawn from the
+// simulator's model. Volume 1 is recorded; use SendVolume for model-sized
+// payloads.
+func (c *Context) Send(to NodeID, payload any) { c.SendVolume(to, payload, 1) }
+
+// SendVolume is Send with an explicit payload volume (e.g. the parameter
+// count of a model) for communication-cost accounting.
+func (c *Context) SendVolume(to NodeID, payload any, volume int64) {
+	c.sim.send(c.self, to, payload, volume)
+}
+
+// After schedules fn on this node after the given virtual delay.
+func (c *Context) After(d Time, fn TimerFunc) {
+	if d < 0 {
+		panic("simnet: negative timer delay")
+	}
+	c.sim.schedule(&event{at: c.sim.now + d, timer: fn, node: c.self})
+}
+
+func (s *Sim) send(from, to NodeID, payload any, volume int64) {
+	d := s.latency.Delay(s.rng, from, to)
+	if d < 0 {
+		d = 0
+	}
+	if s.Bandwidth != nil {
+		if bw := s.Bandwidth(from, to); bw > 0 {
+			d += float64(volume) / bw
+		}
+	}
+	m := &Message{From: from, To: to, Payload: payload, SentAt: s.now, At: s.now + Time(d)}
+	s.stats.Messages++
+	s.stats.Volume += volume
+	s.schedule(&event{at: m.At, msg: m, node: to})
+}
+
+func (s *Sim) schedule(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+// Inject delivers a payload to a node from the outside world (NodeID -1) at
+// the current time plus the link latency; used to bootstrap protocols.
+func (s *Sim) Inject(to NodeID, payload any) {
+	s.send(-1, to, payload, 1)
+}
+
+// ScheduleAt runs fn for node id at absolute virtual time at (>= now).
+func (s *Sim) ScheduleAt(at Time, id NodeID, fn TimerFunc) {
+	if at < s.now {
+		panic("simnet: ScheduleAt in the past")
+	}
+	s.schedule(&event{at: at, timer: fn, node: id})
+}
+
+// Run processes events until the queue is empty or until virtual time
+// exceeds until (0 = no limit). It returns the number of events processed
+// and an error if MaxEvents is exceeded.
+func (s *Sim) Run(until Time) (int, error) {
+	maxEvents := s.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 10_000_000
+	}
+	processed := 0
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if until > 0 && e.at > until {
+			// Push back so a later Run can resume from here.
+			heap.Push(&s.queue, e)
+			s.now = until
+			return processed, nil
+		}
+		s.now = e.at
+		processed++
+		if processed > maxEvents {
+			return processed, fmt.Errorf("simnet: exceeded %d events (livelock?)", maxEvents)
+		}
+		ctx := &Context{sim: s, self: e.node}
+		if e.timer != nil {
+			e.timer(ctx)
+			continue
+		}
+		h, ok := s.nodes[e.node]
+		if !ok {
+			continue // message to an unregistered node is dropped
+		}
+		if s.Trace != nil {
+			s.Trace(*e.msg)
+		}
+		h.OnMessage(ctx, *e.msg)
+	}
+	return processed, nil
+}
+
+// Pending reports whether undelivered events remain.
+func (s *Sim) Pending() bool { return s.queue.Len() > 0 }

@@ -1,0 +1,293 @@
+package simnet
+
+import (
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+// echoNode records delivered payloads and optionally replies.
+type echoNode struct {
+	got   []any
+	times []Time
+	reply bool
+}
+
+func (n *echoNode) OnMessage(ctx *Context, msg Message) {
+	n.got = append(n.got, msg.Payload)
+	n.times = append(n.times, ctx.Now())
+	if n.reply && msg.From >= 0 {
+		ctx.Send(msg.From, "ack")
+	}
+}
+
+func TestDeliveryAndClock(t *testing.T) {
+	s := New(Fixed(5), rng.New(1))
+	a := &echoNode{}
+	s.Register(1, a)
+	s.Inject(1, "hello")
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.got) != 1 || a.got[0] != "hello" {
+		t.Fatalf("got %v", a.got)
+	}
+	if a.times[0] != 5 {
+		t.Fatalf("delivery time = %v, want 5", a.times[0])
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	s := New(Fixed(2), rng.New(1))
+	a := &echoNode{reply: true}
+	b := &echoNode{}
+	s.Register(1, a)
+	s.Register(2, b)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "ping") })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.got) != 1 || b.got[0] != "ack" {
+		t.Fatalf("reply not delivered: %v", b.got)
+	}
+	if b.times[0] != 4 {
+		t.Fatalf("round trip time = %v, want 4", b.times[0])
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []Time {
+		s := New(Uniform{Min: 1, Max: 10}, rng.New(7))
+		n := &echoNode{}
+		s.Register(1, n)
+		for i := 0; i < 50; i++ {
+			s.Inject(1, i)
+		}
+		if _, err := s.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return n.times
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFIFOAmongSimultaneous(t *testing.T) {
+	// Equal-latency messages scheduled in order must be delivered in order.
+	s := New(Fixed(1), rng.New(1))
+	n := &echoNode{}
+	s.Register(1, n)
+	for i := 0; i < 10; i++ {
+		s.Inject(1, i)
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range n.got {
+		if v.(int) != i {
+			t.Fatalf("out-of-order delivery: %v", n.got)
+		}
+	}
+}
+
+func TestTimer(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	fired := Time(-1)
+	s.ScheduleAt(3, 1, func(ctx *Context) {
+		ctx.After(4, func(ctx *Context) { fired = ctx.Now() })
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 7 {
+		t.Fatalf("timer fired at %v, want 7", fired)
+	}
+}
+
+func TestRunUntilPausesAndResumes(t *testing.T) {
+	s := New(Fixed(10), rng.New(1))
+	n := &echoNode{}
+	s.Register(1, n)
+	s.Inject(1, "x")
+	if _, err := s.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.got) != 0 {
+		t.Fatal("message delivered before its time")
+	}
+	if !s.Pending() {
+		t.Fatal("pending event lost")
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", s.Now())
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.got) != 1 {
+		t.Fatal("message lost after resume")
+	}
+}
+
+func TestUnregisteredNodeDrops(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Inject(99, "void")
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	a := &echoNode{}
+	s.Register(1, a)
+	s.ScheduleAt(0, 2, func(ctx *Context) {
+		ctx.Send(1, "m1")
+		ctx.SendVolume(1, "m2", 2500)
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Messages != 2 {
+		t.Fatalf("messages = %d", st.Messages)
+	}
+	if st.Volume != 2501 {
+		t.Fatalf("volume = %d", st.Volume)
+	}
+}
+
+func TestMaxEventsLivelockGuard(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.MaxEvents = 100
+	// Two nodes ping-pong forever.
+	a := &echoNode{reply: true}
+	b := &echoNode{reply: true}
+	s.Register(1, a)
+	s.Register(2, b)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "ping") })
+	if _, err := s.Run(0); err == nil {
+		t.Fatal("livelock not detected")
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Register(1, &echoNode{})
+	var traced []Message
+	s.Trace = func(m Message) { traced = append(traced, m) }
+	s.Inject(1, "x")
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced) != 1 || traced[0].Payload != "x" {
+		t.Fatalf("trace = %v", traced)
+	}
+}
+
+func TestLatencyModels(t *testing.T) {
+	r := rng.New(1)
+	if d := (Fixed(3)).Delay(r, 0, 1); d != 3 {
+		t.Fatalf("Fixed = %v", d)
+	}
+	u := Uniform{Min: 2, Max: 4}
+	for i := 0; i < 100; i++ {
+		d := u.Delay(r, 0, 1)
+		if d < 2 || d > 4 {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	l := LogNormal{Base: 5, Sigma: 0.5}
+	for i := 0; i < 100; i++ {
+		if d := l.Delay(r, 0, 1); d <= 0 {
+			t.Fatalf("LogNormal non-positive: %v", d)
+		}
+	}
+	p := PerLink(func(_ *rng.RNG, from, to NodeID) float64 { return float64(from + to) })
+	if d := p.Delay(r, 2, 3); d != 5 {
+		t.Fatalf("PerLink = %v", d)
+	}
+}
+
+func TestNegativeTimerPanics(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.ScheduleAt(0, 1, func(ctx *Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative After did not panic")
+			}
+		}()
+		ctx.After(-1, func(*Context) {})
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	s := New(Fixed(1), rng.New(1))
+	n := &echoNode{}
+	s.Register(1, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Inject(1, i)
+	}
+	if _, err := s.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func TestBandwidthAddsTransferDelay(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Bandwidth = func(_, _ NodeID) float64 { return 100 } // 100 units/ms
+	n := &echoNode{}
+	s.Register(1, n)
+	s.ScheduleAt(0, 2, func(ctx *Context) {
+		ctx.SendVolume(1, "big", 500) // 5 ms of transfer time
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.times[0] != 6 { // 1 ms latency + 500/100 transfer
+		t.Fatalf("delivery at %v, want 6", n.times[0])
+	}
+}
+
+func TestBandwidthZeroMeansInfinite(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Bandwidth = func(_, _ NodeID) float64 { return 0 }
+	n := &echoNode{}
+	s.Register(1, n)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.SendVolume(1, "x", 1e6) })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.times[0] != 1 {
+		t.Fatalf("delivery at %v, want 1", n.times[0])
+	}
+}
+
+func TestCausalityProperty(t *testing.T) {
+	// Delivery never precedes sending, under any latency model draw.
+	s := New(LogNormal{Base: 3, Sigma: 1}, rng.New(9))
+	var bad int
+	s.Trace = func(m Message) {
+		if m.At < m.SentAt {
+			bad++
+		}
+	}
+	n := &echoNode{reply: true}
+	m2 := &echoNode{reply: true}
+	s.MaxEvents = 500
+	s.Register(1, n)
+	s.Register(2, m2)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "ping") })
+	_, _ = s.Run(0) // ping-pong until MaxEvents; we only check causality
+	if bad != 0 {
+		t.Fatalf("%d messages delivered before they were sent", bad)
+	}
+}

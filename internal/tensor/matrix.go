@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set stores x at row i, column j.
+func (m *Matrix) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a Vector sharing the matrix's storage.
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero resets all elements to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// parallelThreshold is the number of scalar multiplications below which
+// MatVec and friends stay single-threaded; goroutine fan-out only pays for
+// itself on large shapes.
+const parallelThreshold = 1 << 16
+
+// parallelRows runs fn(i) for every row index in [0, rows), splitting the
+// range across GOMAXPROCS goroutines when work is large enough.
+func parallelRows(rows, workPerRow int, fn func(i int)) {
+	if rows*workPerRow < parallelThreshold {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatVec stores m*x into dst and returns dst. dst must not alias x.
+func MatVec(dst Vector, m *Matrix, x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
+	}
+	if len(dst) != m.Rows {
+		panic("tensor: MatVec dst length mismatch")
+	}
+	parallelRows(m.Rows, m.Cols, func(i int) {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, r := range row {
+			s += r * x[j]
+		}
+		dst[i] = s
+	})
+	return dst
+}
+
+// MatTVec stores mᵀ*x into dst and returns dst (dst has length Cols).
+func MatTVec(dst Vector, m *Matrix, x Vector) Vector {
+	if len(x) != m.Rows {
+		panic("tensor: MatTVec shape mismatch")
+	}
+	if len(dst) != m.Cols {
+		panic("tensor: MatTVec dst length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, r := range row {
+			dst[j] += r * xi
+		}
+	}
+	return dst
+}
+
+// AddOuter accumulates the outer product s * x yᵀ into m: m[i][j] += s*x[i]*y[j].
+// It is the gradient accumulation kernel for dense layers.
+func AddOuter(m *Matrix, s float64, x, y Vector) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("tensor: AddOuter shape mismatch")
+	}
+	parallelRows(m.Rows, m.Cols, func(i int) {
+		sx := s * x[i]
+		if sx == 0 {
+			return
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, yj := range y {
+			row[j] += sx * yj
+		}
+	})
+}
+
+// MatMul returns a*b as a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	parallelRows(a.Rows, a.Cols*b.Cols, func(i int) {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out
+}

@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"abdhfl/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b Vector, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func randVec(r *rng.RNG, n int) Vector {
+	v := NewVector(n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	dst := NewVector(3)
+	Add(dst, a, b)
+	if !vecAlmostEq(dst, Vector{5, 7, 9}, 0) {
+		t.Fatalf("Add = %v", dst)
+	}
+	Sub(dst, b, a)
+	if !vecAlmostEq(dst, Vector{3, 3, 3}, 0) {
+		t.Fatalf("Sub = %v", dst)
+	}
+	Scale(dst, 2, a)
+	if !vecAlmostEq(dst, Vector{2, 4, 6}, 0) {
+		t.Fatalf("Scale = %v", dst)
+	}
+}
+
+func TestAddAliasing(t *testing.T) {
+	a := Vector{1, 2}
+	Add(a, a, a)
+	if !vecAlmostEq(a, Vector{2, 4}, 0) {
+		t.Fatalf("aliased Add = %v", a)
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	dst := Vector{1, 1, 1}
+	Axpy(dst, 3, Vector{1, 2, 3})
+	if !vecAlmostEq(dst, Vector{4, 7, 10}, 0) {
+		t.Fatalf("Axpy = %v", dst)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a := Vector{1, 2}
+	b := Vector{3, 8}
+	dst := NewVector(2)
+	if Lerp(dst, a, b, 0); !vecAlmostEq(dst, a, 1e-15) {
+		t.Fatalf("Lerp t=0 = %v", dst)
+	}
+	if Lerp(dst, a, b, 1); !vecAlmostEq(dst, b, 1e-15) {
+		t.Fatalf("Lerp t=1 = %v", dst)
+	}
+	if Lerp(dst, a, b, 0.5); !vecAlmostEq(dst, Vector{2, 5}, 1e-15) {
+		t.Fatalf("Lerp t=0.5 = %v", dst)
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	a := Vector{3, 4}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if Norm2(a) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(a))
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if d := Distance(Vector{0, 0}, Vector{3, 4}); d != 5 {
+		t.Fatalf("Distance = %v", d)
+	}
+	if d := SquaredDistance(Vector{1, 1}, Vector{1, 1}); d != 0 {
+		t.Fatalf("SquaredDistance = %v", d)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if c := CosineSimilarity(Vector{1, 0}, Vector{1, 0}); !almostEq(c, 1, 1e-12) {
+		t.Fatalf("parallel cos = %v", c)
+	}
+	if c := CosineSimilarity(Vector{1, 0}, Vector{0, 1}); !almostEq(c, 0, 1e-12) {
+		t.Fatalf("orthogonal cos = %v", c)
+	}
+	if c := CosineSimilarity(Vector{1, 0}, Vector{-1, 0}); !almostEq(c, -1, 1e-12) {
+		t.Fatalf("antiparallel cos = %v", c)
+	}
+	if c := CosineSimilarity(Vector{0, 0}, Vector{1, 0}); c != 0 {
+		t.Fatalf("zero-vector cos = %v", c)
+	}
+}
+
+func TestMean(t *testing.T) {
+	vs := []Vector{{1, 2}, {3, 4}, {5, 6}}
+	dst := NewVector(2)
+	Mean(dst, vs)
+	if !vecAlmostEq(dst, Vector{3, 4}, 1e-12) {
+		t.Fatalf("Mean = %v", dst)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	vs := []Vector{{0, 0}, {10, 10}}
+	dst := NewVector(2)
+	WeightedMean(dst, vs, []float64{1, 3})
+	if !vecAlmostEq(dst, Vector{7.5, 7.5}, 1e-12) {
+		t.Fatalf("WeightedMean = %v", dst)
+	}
+}
+
+func TestWeightedMeanEqualWeightsMatchesMean(t *testing.T) {
+	r := rng.New(1)
+	check := func(seed uint64) bool {
+		rr := rng.New(seed ^ r.Uint64())
+		vs := []Vector{randVec(rr, 5), randVec(rr, 5), randVec(rr, 5)}
+		m := Mean(NewVector(5), vs)
+		w := WeightedMean(NewVector(5), vs, []float64{2, 2, 2})
+		return vecAlmostEq(m, w, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax(Vector{1, 5, 3}); i != 1 {
+		t.Fatalf("ArgMax = %d", i)
+	}
+	if i := ArgMax(Vector{7, 7, 7}); i != 0 {
+		t.Fatalf("ArgMax ties = %d", i)
+	}
+}
+
+func TestClip(t *testing.T) {
+	v := Vector{3, 4}
+	Clip(v, 2.5)
+	if !almostEq(Norm2(v), 2.5, 1e-12) {
+		t.Fatalf("clipped norm = %v", Norm2(v))
+	}
+	u := Vector{0.3, 0.4}
+	before := u.Clone()
+	Clip(u, 2.5)
+	if !vecAlmostEq(u, before, 0) {
+		t.Fatal("Clip modified a vector under the threshold")
+	}
+}
+
+func TestAllFinite(t *testing.T) {
+	if !AllFinite(Vector{1, 2, 3}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if AllFinite(Vector{1, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if AllFinite(Vector{1, math.Inf(1)}) {
+		t.Fatal("Inf not detected")
+	}
+}
+
+func TestPairwiseSquaredDistances(t *testing.T) {
+	vs := []Vector{{0, 0}, {3, 4}, {0, 1}}
+	d := PairwiseSquaredDistances(vs)
+	if d[0][1] != 25 || d[1][0] != 25 {
+		t.Fatalf("d01 = %v", d[0][1])
+	}
+	if d[0][2] != 1 {
+		t.Fatalf("d02 = %v", d[0][2])
+	}
+	for i := range d {
+		if d[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Add(NewVector(2), Vector{1, 2}, Vector{1, 2, 3})
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b, c := randVec(r, 8), randVec(r, 8), randVec(r, 8)
+		return Distance(a, c) <= Distance(a, b)+Distance(b, c)+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Vector{1, 2, 3}
+	c := a.Clone()
+	c[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func BenchmarkDot1024(b *testing.B) {
+	r := rng.New(1)
+	x := randVec(r, 1024)
+	y := randVec(r, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Dot(x, y)
+	}
+}
+
+func BenchmarkPairwise32x1024(b *testing.B) {
+	r := rng.New(1)
+	vs := make([]Vector, 32)
+	for i := range vs {
+		vs[i] = randVec(r, 1024)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PairwiseSquaredDistances(vs)
+	}
+}
+
+func TestPairwiseParallelMatchesSerial(t *testing.T) {
+	// A population large enough to cross the parallel threshold must produce
+	// exactly the same matrix as the small/serial path computes.
+	r := rng.New(31)
+	const n, dim = 64, 1024 // 64*64*1024/2 = 2M ops > threshold
+	vs := make([]Vector, n)
+	for i := range vs {
+		vs[i] = randVec(r, dim)
+	}
+	got := PairwiseSquaredDistances(vs)
+	for i := 0; i < n; i += 7 {
+		for j := 0; j < n; j += 5 {
+			want := SquaredDistance(vs[i], vs[j])
+			if got[i][j] != want {
+				t.Fatalf("d[%d][%d] = %v, want %v", i, j, got[i][j], want)
+			}
+			if got[i][j] != got[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"fmt"
+
+	"abdhfl/internal/rng"
+)
+
+// NewACSM builds an Arbitrary Cluster Size Model tree over the given number
+// of devices: bottom clusters are drawn with sizes uniform in [minSize,
+// maxSize], and levels are stacked bottom-up (grouping leaders into
+// random-size clusters) until at most maxTop leaders remain, which become
+// the top cluster. Device ids are assigned consecutively in id order, as in
+// ECSM.
+func NewACSM(r *rng.RNG, devices, minSize, maxSize, maxTop int) (*Tree, error) {
+	if devices < 2 {
+		return nil, fmt.Errorf("topology: ACSM needs >= 2 devices, got %d", devices)
+	}
+	if minSize < 1 || maxSize < minSize {
+		return nil, fmt.Errorf("topology: ACSM invalid cluster size range [%d, %d]", minSize, maxSize)
+	}
+	if maxTop < 2 {
+		return nil, fmt.Errorf("topology: ACSM needs maxTop >= 2")
+	}
+
+	// Build levels bottom-up as slices of member lists, then reverse.
+	ids := make([]int, devices)
+	for i := range ids {
+		ids[i] = i
+	}
+	var levelsUp [][][]int // levelsUp[0] = bottom
+	current := ids
+	for len(current) > maxTop {
+		var clusters [][]int
+		pos := 0
+		for pos < len(current) {
+			size := minSize
+			if maxSize > minSize {
+				size += r.Intn(maxSize - minSize + 1)
+			}
+			if rem := len(current) - pos; size > rem {
+				size = rem
+			}
+			// Avoid leaving an undersized trailing cluster: absorb a short
+			// remainder into the last cluster.
+			if rem := len(current) - (pos + size); rem > 0 && rem < minSize {
+				size += rem
+			}
+			clusters = append(clusters, append([]int(nil), current[pos:pos+size]...))
+			pos += size
+		}
+		levelsUp = append(levelsUp, clusters)
+		leaders := make([]int, len(clusters))
+		for i, c := range clusters {
+			leaders[i] = c[0]
+		}
+		if len(leaders) == len(current) {
+			return nil, fmt.Errorf("topology: ACSM failed to reduce level size %d", len(current))
+		}
+		current = leaders
+	}
+	levelsUp = append(levelsUp, [][]int{append([]int(nil), current...)})
+
+	// Convert to a Tree (top = level 0).
+	depth := len(levelsUp)
+	t := &Tree{
+		Clusters: make([][]*Cluster, depth),
+		parentOf: make([][]int, depth),
+	}
+	for l := 0; l < depth; l++ {
+		raw := levelsUp[depth-1-l]
+		t.Clusters[l] = make([]*Cluster, len(raw))
+		for i, members := range raw {
+			t.Clusters[l][i] = &Cluster{Level: l, Index: i, Members: members, Leader: members[0]}
+		}
+	}
+	// Fill parent links: the parent of cluster (l, i) is the level l-1
+	// cluster containing its leader.
+	for l := 1; l < depth; l++ {
+		t.parentOf[l] = make([]int, len(t.Clusters[l]))
+		for i, c := range t.Clusters[l] {
+			found := -1
+			for pi, p := range t.Clusters[l-1] {
+				if p.Contains(c.Leader) {
+					found = pi
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("topology: ACSM leader %d of (%d,%d) missing above", c.Leader, l, i)
+			}
+			t.parentOf[l][i] = found
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,205 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the paper's Byzantine-tolerance theory as executable
+// functions: Theorem 1 (p-ratio two-type m-ary trees), Theorem 2 and its
+// corollaries (ECSM tolerance per level), and Theorem 3 (ACSM tolerance via
+// the relative reliable number ψ).
+
+// TypeICountAtLevel returns the number of type-I (honest) nodes at level l
+// of a p-ratio two-type complete m-ary tree: (p*m)^l (Theorem 1). Level 0 is
+// the root.
+func TypeICountAtLevel(p float64, m, l int) float64 {
+	return math.Pow(p*float64(m), float64(l))
+}
+
+// TypeIProportionAtLevel returns the proportion of type-I nodes at level l
+// of a p-ratio two-type complete m-ary tree: p^l (Theorem 1).
+func TypeIProportionAtLevel(p float64, l int) float64 {
+	return math.Pow(p, float64(l))
+}
+
+// MaxByzantineProportion returns the maximum proportion of Byzantine nodes
+// tolerated at level l of an ECSM ABD-HFL with property γ1-γ2:
+// 1 - (1-γ1)(1-γ2)^l (Theorem 2). Level 0 is the top.
+func MaxByzantineProportion(gamma1, gamma2 float64, l int) float64 {
+	return 1 - (1-gamma1)*math.Pow(1-gamma2, float64(l))
+}
+
+// MaxByzantineCount returns the maximum number of Byzantine nodes tolerated
+// at level l of an ECSM ABD-HFL with nt top nodes and branching m:
+// nt*m^l - (1-γ1)*nt*((1-γ2)*m)^l (Theorem 2).
+func MaxByzantineCount(nt, m int, gamma1, gamma2 float64, l int) float64 {
+	total := float64(nt) * math.Pow(float64(m), float64(l))
+	honest := (1 - gamma1) * float64(nt) * math.Pow((1-gamma2)*float64(m), float64(l))
+	return total - honest
+}
+
+// ACSMMaxByzantineProportion returns the ACSM upper bound of Theorem 3:
+// P_l <= 1 - (1-γ2)*ψ, where ψ is the relative reliable number of the level
+// (the fraction of the level's nodes living in honest clusters).
+func ACSMMaxByzantineProportion(gamma2, psi float64) float64 {
+	return 1 - (1-gamma2)*psi
+}
+
+// RelativeReliableNumber computes ψ_l for a concrete level of a tree given
+// the per-cluster Byzantine counts: the fraction of the level's nodes that
+// live in clusters whose Byzantine proportion does not exceed the cluster
+// tolerance (Definition 7).
+func RelativeReliableNumber(t *Tree, level int, byzantine map[int]bool, clusterTolerance float64) float64 {
+	totalNodes := 0
+	honestClusterNodes := 0
+	for _, c := range t.Clusters[level] {
+		totalNodes += c.Size()
+		byz := 0
+		for _, m := range c.Members {
+			if byzantine[m] {
+				byz++
+			}
+		}
+		if float64(byz) <= clusterTolerance*float64(c.Size()) {
+			honestClusterNodes += c.Size()
+		}
+	}
+	if totalNodes == 0 {
+		return 0
+	}
+	return float64(honestClusterNodes) / float64(totalNodes)
+}
+
+// Tolerance describes an ABD-HFL γ1-γ2 property (Definition 3): γ1 is the
+// maximum Byzantine proportion the top-level aggregation filters, γ2 the
+// per-cluster maximum at every other level.
+type Tolerance struct {
+	Gamma1, Gamma2 float64
+}
+
+// BottomBound returns the tolerated Byzantine proportion at the bottom level
+// of a tree of the given depth, e.g. 57.8125% for γ1=γ2=25% and depth 3
+// (bottom level index 2), matching §V-A of the paper.
+func (tol Tolerance) BottomBound(depth int) float64 {
+	return MaxByzantineProportion(tol.Gamma1, tol.Gamma2, depth-1)
+}
+
+// AdversarialPlacement computes, by explicit greedy placement on a concrete
+// tree, the worst-case set of Byzantine bottom devices that per-level
+// filtering still survives: floor(γ1*Nt) top nodes get fully-Byzantine
+// subtrees, and within every surviving honest cluster floor(γ2*size) members
+// get fully-Byzantine subtrees, recursively. The returned set attains the
+// Theorem 2 count on ECSM trees and is used by property tests and the
+// end-to-end bound experiments.
+func (tol Tolerance) AdversarialPlacement(t *Tree) map[int]bool {
+	byz := make(map[int]bool)
+	top := t.Top()
+	nTopByz := int(math.Floor(tol.Gamma1 * float64(top.Size())))
+	// The top cluster's members are leaders of level-1 clusters (bottom
+	// clusters in a 2-level tree). Sacrifice the last nTopByz members'
+	// entire subtrees, then recurse into the remaining honest members'
+	// clusters.
+	for ci, child := range t.ChildClusters(0, 0) {
+		if ci >= top.Size()-nTopByz {
+			for _, leaf := range t.LeafDescendants(child.Level, child.Index) {
+				byz[leaf] = true
+			}
+			continue
+		}
+		tol.placeInCluster(t, child, byz)
+	}
+	return byz
+}
+
+// placeInCluster marks floor(γ2*size) members' subtrees fully Byzantine and
+// recurses into the rest.
+func (tol Tolerance) placeInCluster(t *Tree, c *Cluster, byz map[int]bool) {
+	nByz := int(math.Floor(tol.Gamma2 * float64(c.Size())))
+	if c.Level == t.Bottom() {
+		for i := c.Size() - nByz; i < c.Size(); i++ {
+			byz[c.Members[i]] = true
+		}
+		return
+	}
+	children := t.ChildClusters(c.Level, c.Index)
+	for ci, child := range children {
+		if ci >= c.Size()-nByz {
+			for _, leaf := range t.LeafDescendants(child.Level, child.Index) {
+				byz[leaf] = true
+			}
+			continue
+		}
+		tol.placeInCluster(t, child, byz)
+	}
+}
+
+// PrefixPlacement marks the first k bottom devices Byzantine — the
+// evaluation's placement ("clients are ordered by client id from 0 to 63",
+// malicious proportion taken from the low ids).
+func PrefixPlacement(t *Tree, k int) map[int]bool {
+	if k < 0 || k > t.NumDevices() {
+		panic(fmt.Sprintf("topology: prefix placement of %d devices out of %d", k, t.NumDevices()))
+	}
+	byz := make(map[int]bool, k)
+	for id := 0; id < k; id++ {
+		byz[id] = true
+	}
+	return byz
+}
+
+// SurvivesFiltering simulates ideal per-level filtering on a concrete
+// Byzantine placement: a bottom cluster produces an honest partial model iff
+// its Byzantine proportion is at most γ2; an upper cluster produces an
+// honest partial model iff the proportion of Byzantine partials among its
+// children is at most γ2 (γ1 at the top). It reports whether the global
+// model aggregation receives an acceptable set, i.e. whether the placement
+// is within the structure's tolerance.
+func (tol Tolerance) SurvivesFiltering(t *Tree, byzantine map[int]bool) bool {
+	// poisoned[level][clusterIndex] — whether the cluster's output is
+	// Byzantine.
+	bottom := t.Bottom()
+	poisoned := make(map[int]bool)
+	for i, c := range t.Clusters[bottom] {
+		byz := 0
+		for _, m := range c.Members {
+			if byzantine[m] {
+				byz++
+			}
+		}
+		poisoned[i] = float64(byz) > tol.Gamma2*float64(c.Size())
+	}
+	for l := bottom - 1; l >= 1; l-- {
+		next := make(map[int]bool)
+		for i := range t.Clusters[l] {
+			children := t.ChildClusters(l, i)
+			byz := 0
+			for _, ch := range children {
+				if poisoned[ch.Index] {
+					byz++
+				}
+			}
+			next[i] = float64(byz) > tol.Gamma2*float64(len(children))
+		}
+		poisoned = next
+	}
+	// Top level: γ1 of the incoming partials may be Byzantine.
+	children := t.ChildClusters(0, 0)
+	if len(children) == 0 {
+		// 2-level tree: members are the devices themselves.
+		byz := 0
+		for _, m := range t.Top().Members {
+			if byzantine[m] {
+				byz++
+			}
+		}
+		return float64(byz) <= tol.Gamma1*float64(t.Top().Size())
+	}
+	byz := 0
+	for _, ch := range children {
+		if poisoned[ch.Index] {
+			byz++
+		}
+	}
+	return float64(byz) <= tol.Gamma1*float64(len(children))
+}

@@ -1,0 +1,46 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"abdhfl/internal/topology"
+)
+
+// The paper's evaluation topology: 3 levels, cluster size 4, 4 top nodes.
+func ExampleNewECSM() {
+	tree, err := topology.NewECSM(3, 4, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(tree.Summary())
+	// Output:
+	// L0 (top): 1 clusters (1x4)
+	// L1 (intermediate): 4 clusters (4x4)
+	// L2 (bottom): 16 clusters (16x4)
+}
+
+// Theorem 2's per-level tolerance: deeper trees tolerate more Byzantine
+// devices at the bottom (Corollary 3).
+func ExampleTolerance_BottomBound() {
+	tol := topology.Tolerance{Gamma1: 0.25, Gamma2: 0.25}
+	for depth := 2; depth <= 4; depth++ {
+		fmt.Printf("depth %d: %.4f\n", depth, tol.BottomBound(depth))
+	}
+	// Output:
+	// depth 2: 0.4375
+	// depth 3: 0.5781
+	// depth 4: 0.6836
+}
+
+// The bound-attaining adversarial placement marks exactly 37 of 64 devices
+// on the paper's tree — and ideal per-level filtering survives it.
+func ExampleTolerance_AdversarialPlacement() {
+	tree, _ := topology.NewECSM(3, 4, 4)
+	tol := topology.Tolerance{Gamma1: 0.25, Gamma2: 0.25}
+	placement := tol.AdversarialPlacement(tree)
+	fmt.Println(len(placement), "Byzantine devices")
+	fmt.Println("survives filtering:", tol.SurvivesFiltering(tree, placement))
+	// Output:
+	// 37 Byzantine devices
+	// survives filtering: true
+}

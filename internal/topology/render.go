@@ -1,0 +1,75 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Render draws the tree as indented ASCII — the textual counterpart of the
+// paper's Fig 1 architecture diagram. Each cluster line shows its level,
+// index, leader and members; marked devices (e.g. a Byzantine placement) are
+// suffixed with '!'.
+func (t *Tree) Render(marked map[int]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ABD-HFL tree: %d levels, %d devices\n", t.Depth(), t.NumDevices())
+	t.renderCluster(&b, 0, 0, 0, marked)
+	return b.String()
+}
+
+func (t *Tree) renderCluster(b *strings.Builder, l, idx, indent int, marked map[int]bool) {
+	c := t.Clusters[l][idx]
+	pad := strings.Repeat("  ", indent)
+	kind := "cluster"
+	if l == 0 {
+		kind = "top"
+	} else if l == t.Bottom() {
+		kind = "leaf-cluster"
+	}
+	fmt.Fprintf(b, "%s%s L%d C%d leader=%d members=%s\n",
+		pad, kind, l, idx, c.Leader, memberList(c.Members, marked))
+	for _, ch := range t.ChildClusters(l, idx) {
+		t.renderCluster(b, ch.Level, ch.Index, indent+1, marked)
+	}
+}
+
+func memberList(members []int, marked map[int]bool) string {
+	parts := make([]string, len(members))
+	for i, m := range members {
+		if marked[m] {
+			parts[i] = fmt.Sprintf("%d!", m)
+		} else {
+			parts[i] = fmt.Sprint(m)
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Summary returns a one-line-per-level shape description.
+func (t *Tree) Summary() string {
+	var b strings.Builder
+	for l, level := range t.Clusters {
+		sizes := map[int]int{}
+		var order []int
+		for _, c := range level {
+			if sizes[c.Size()] == 0 {
+				order = append(order, c.Size())
+			}
+			sizes[c.Size()]++
+		}
+		sort.Ints(order)
+		parts := make([]string, 0, len(order))
+		for _, size := range order {
+			parts = append(parts, fmt.Sprintf("%dx%d", sizes[size], size))
+		}
+		label := "intermediate"
+		switch {
+		case l == 0:
+			label = "top"
+		case l == t.Bottom():
+			label = "bottom"
+		}
+		fmt.Fprintf(&b, "L%d (%s): %d clusters (%s)\n", l, label, len(level), strings.Join(parts, ", "))
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package topology
+
+// Rotate returns a new tree with every bottom cluster's leadership rotated
+// by k positions (leader = members[k mod size]) and all upper levels rebuilt
+// from the new leaders, preserving the cluster grouping. It models the
+// paper's leader election over time: "all leader nodes are initially elected
+// from the bottom layer" — periodic re-election distributes the aggregation
+// burden and limits how long a single device holds upper-level power.
+//
+// The receiver is not modified.
+func (t *Tree) Rotate(k int) (*Tree, error) {
+	if k < 0 {
+		k = -k
+	}
+	bottom := t.Bottom()
+	// Collect bottom clusters with rotated leaders; remember the grouping of
+	// bottom clusters into parents so upper levels keep their shape.
+	out := &Tree{
+		Clusters: make([][]*Cluster, t.Depth()),
+		parentOf: make([][]int, t.Depth()),
+	}
+	out.Clusters[bottom] = make([]*Cluster, len(t.Clusters[bottom]))
+	for i, c := range t.Clusters[bottom] {
+		members := append([]int(nil), c.Members...)
+		out.Clusters[bottom][i] = &Cluster{
+			Level:   bottom,
+			Index:   i,
+			Members: members,
+			Leader:  members[k%len(members)],
+		}
+	}
+	// Rebuild each upper level: cluster (l, i) keeps grouping the same child
+	// clusters as in t, but its members are the children's NEW leaders, and
+	// its own leader rotates by k within the cluster.
+	for l := bottom - 1; l >= 0; l-- {
+		out.Clusters[l] = make([]*Cluster, len(t.Clusters[l]))
+		out.parentOf[l+1] = make([]int, len(t.Clusters[l+1]))
+		for i := range t.Clusters[l] {
+			var members []int
+			for ci := range t.Clusters[l+1] {
+				if t.parentOf[l+1][ci] == i {
+					members = append(members, out.Clusters[l+1][ci].Leader)
+					out.parentOf[l+1][ci] = i
+				}
+			}
+			out.Clusters[l][i] = &Cluster{
+				Level:   l,
+				Index:   i,
+				Members: members,
+				Leader:  members[k%len(members)],
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

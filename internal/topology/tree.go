@@ -1,0 +1,244 @@
+// Package topology builds and analyses the ABD-HFL tree: a leaf-derived
+// hierarchy of learning clusters in which every cluster leader is also a
+// member of a cluster one level up, and the top level is a single
+// leaderless-capable cluster of peers. It implements both the Equal Cluster
+// Size Model (ECSM — every non-top cluster has m members) and the Arbitrary
+// Cluster Size Model (ACSM), plus the paper's Byzantine-tolerance theory
+// (Theorems 1-3 and corollaries) as executable functions.
+package topology
+
+import "fmt"
+
+// Cluster is one learning cluster: an ordered set of device ids with a
+// designated leader (the leader is always a member). At the top level the
+// leader is only used by BRA-configured runs; CBA treats all members as
+// equals.
+type Cluster struct {
+	Level   int
+	Index   int
+	Members []int
+	Leader  int
+}
+
+// Size returns the number of members.
+func (c *Cluster) Size() int { return len(c.Members) }
+
+// Contains reports whether device id is a member.
+func (c *Cluster) Contains(id int) bool {
+	for _, m := range c.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Tree is an ABD-HFL hierarchy. Devices are identified by their bottom-level
+// id in [0, NumDevices); a device that leads its cluster also appears as a
+// member at the level above, recursively up to the top.
+//
+// Levels are indexed as in the paper: level 0 is the top, level Depth()-1 is
+// the bottom.
+type Tree struct {
+	// Clusters[l] lists the clusters of level l.
+	Clusters [][]*Cluster
+	// parentOf[l][i] is the index of the level l-1 cluster containing the
+	// leader of Clusters[l][i] (undefined for l == 0).
+	parentOf [][]int
+}
+
+// Depth returns the number of levels (the paper's L+1).
+func (t *Tree) Depth() int { return len(t.Clusters) }
+
+// Bottom returns the bottom level index (the paper's L).
+func (t *Tree) Bottom() int { return t.Depth() - 1 }
+
+// NumDevices returns the number of bottom-level devices.
+func (t *Tree) NumDevices() int {
+	n := 0
+	for _, c := range t.Clusters[t.Bottom()] {
+		n += c.Size()
+	}
+	return n
+}
+
+// Top returns the single top-level cluster.
+func (t *Tree) Top() *Cluster { return t.Clusters[0][0] }
+
+// Parent returns the cluster at level l-1 that the leader of cluster
+// (l, idx) belongs to. It panics for the top level.
+func (t *Tree) Parent(l, idx int) *Cluster {
+	if l == 0 {
+		panic("topology: top-level cluster has no parent")
+	}
+	return t.Clusters[l-1][t.parentOf[l][idx]]
+}
+
+// ChildClusters returns the clusters at level l+1 whose leaders are members
+// of cluster (l, idx), in member order. The bottom level has no children.
+func (t *Tree) ChildClusters(l, idx int) []*Cluster {
+	if l == t.Bottom() {
+		return nil
+	}
+	var out []*Cluster
+	for ci, c := range t.Clusters[l+1] {
+		if t.parentOf[l+1][ci] == idx {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// LeafDescendants returns the bottom-level device ids reachable from cluster
+// (l, idx) by following child clusters. For a bottom cluster this is its
+// member list.
+func (t *Tree) LeafDescendants(l, idx int) []int {
+	if l == t.Bottom() {
+		return append([]int(nil), t.Clusters[l][idx].Members...)
+	}
+	var out []int
+	for ci := range t.Clusters[l+1] {
+		if t.parentOf[l+1][ci] == idx {
+			out = append(out, t.LeafDescendants(l+1, ci)...)
+		}
+	}
+	return out
+}
+
+// ClusterOf returns the bottom-level cluster containing device id, or nil.
+func (t *Tree) ClusterOf(id int) *Cluster {
+	for _, c := range t.Clusters[t.Bottom()] {
+		if c.Contains(id) {
+			return c
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants of an ABD-HFL tree: every
+// cluster is non-empty, leaders are members of their clusters, every
+// non-top-level leader appears exactly once at the level above, the top
+// level is a single cluster, and device ids at the bottom are unique.
+func (t *Tree) Validate() error {
+	if t.Depth() < 2 {
+		return fmt.Errorf("topology: tree needs at least 2 levels, has %d", t.Depth())
+	}
+	if len(t.Clusters[0]) != 1 {
+		return fmt.Errorf("topology: top level must be a single cluster, has %d", len(t.Clusters[0]))
+	}
+	seen := map[int]bool{}
+	for _, c := range t.Clusters[t.Bottom()] {
+		for _, m := range c.Members {
+			if seen[m] {
+				return fmt.Errorf("topology: device %d in multiple bottom clusters", m)
+			}
+			seen[m] = true
+		}
+	}
+	for l, level := range t.Clusters {
+		for i, c := range level {
+			if c.Size() == 0 {
+				return fmt.Errorf("topology: empty cluster at level %d index %d", l, i)
+			}
+			if !c.Contains(c.Leader) {
+				return fmt.Errorf("topology: leader %d not a member of cluster (%d,%d)", c.Leader, l, i)
+			}
+			if l > 0 {
+				p := t.Parent(l, i)
+				if !p.Contains(c.Leader) {
+					return fmt.Errorf("topology: leader %d of (%d,%d) missing from parent cluster", c.Leader, l, i)
+				}
+			}
+		}
+	}
+	// Upper-level members must be exactly the leaders of the level below.
+	for l := 0; l < t.Bottom(); l++ {
+		leaders := map[int]bool{}
+		for _, c := range t.Clusters[l+1] {
+			leaders[c.Leader] = true
+		}
+		count := 0
+		for _, c := range t.Clusters[l] {
+			for _, m := range c.Members {
+				if !leaders[m] {
+					return fmt.Errorf("topology: level %d member %d is not a leader below", l, m)
+				}
+				count++
+			}
+		}
+		if count != len(t.Clusters[l+1]) {
+			return fmt.Errorf("topology: level %d has %d members for %d child clusters", l, count, len(t.Clusters[l+1]))
+		}
+	}
+	return nil
+}
+
+// NewECSM builds an Equal Cluster Size Model tree: levels+1 tiers where
+// every cluster below the top has exactly m members and the top cluster has
+// topNodes members. Device ids are assigned consecutively to bottom clusters
+// in id order (the evaluation's "clients are ordered by client id") and each
+// cluster's leader is its lowest-id member.
+//
+// The shape must be consistent: topNodes * m^(levels-1) bottom clusters of m
+// devices each. The paper's evaluation uses NewECSM(3, 4, 4): 3 levels,
+// cluster size 4, 4 top nodes, 64 clients.
+func NewECSM(levels, m, topNodes int) (*Tree, error) {
+	if levels < 2 {
+		return nil, fmt.Errorf("topology: ECSM needs >= 2 levels, got %d", levels)
+	}
+	if m < 1 || topNodes < 1 {
+		return nil, fmt.Errorf("topology: ECSM needs positive cluster size and top size")
+	}
+	t := &Tree{
+		Clusters: make([][]*Cluster, levels),
+		parentOf: make([][]int, levels),
+	}
+	// Bottom level: topNodes * m^(levels-2) clusters... built top-down by
+	// cluster counts: level l (0-indexed, 0=top) has topNodes*m^(l-1)
+	// clusters for l >= 1, and 1 cluster at l = 0.
+	counts := make([]int, levels)
+	counts[0] = 1
+	n := topNodes
+	for l := 1; l < levels; l++ {
+		counts[l] = n
+		n *= m
+	}
+	bottom := levels - 1
+	devices := counts[bottom] * m
+	// Assign device ids to bottom clusters consecutively.
+	t.Clusters[bottom] = make([]*Cluster, counts[bottom])
+	for i := 0; i < counts[bottom]; i++ {
+		members := make([]int, m)
+		for j := range members {
+			members[j] = i*m + j
+		}
+		t.Clusters[bottom][i] = &Cluster{Level: bottom, Index: i, Members: members, Leader: members[0]}
+	}
+	// Build upper levels from leaders below.
+	for l := bottom - 1; l >= 0; l-- {
+		size := m
+		if l == 0 {
+			size = topNodes
+		}
+		t.Clusters[l] = make([]*Cluster, counts[l])
+		t.parentOf[l+1] = make([]int, len(t.Clusters[l+1]))
+		for i := 0; i < counts[l]; i++ {
+			members := make([]int, size)
+			for j := 0; j < size; j++ {
+				child := t.Clusters[l+1][i*size+j]
+				members[j] = child.Leader
+				t.parentOf[l+1][i*size+j] = i
+			}
+			t.Clusters[l][i] = &Cluster{Level: l, Index: i, Members: members, Leader: members[0]}
+		}
+	}
+	t.parentOf[0] = nil
+	built := t.NumDevices()
+	if built != devices {
+		return nil, fmt.Errorf("topology: internal error, built %d devices, want %d", built, devices)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,130 @@
+// Package trace records structured protocol events (message deliveries,
+// aggregations, round completions) and exports them as JSON Lines for
+// offline analysis or visualisation. A Recorder can be attached to the
+// discrete-event simulator via SimnetHook, or fed manually by engines.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"abdhfl/internal/simnet"
+)
+
+// Event is one recorded protocol occurrence.
+type Event struct {
+	// Time is virtual milliseconds (or wall time for realtime engines).
+	Time float64 `json:"t"`
+	// Kind classifies the event ("message", "aggregate", "global", ...).
+	Kind string `json:"kind"`
+	// From/To identify the nodes involved (-1 when not applicable).
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Round is the global round, -1 when not applicable.
+	Round int `json:"round,omitempty"`
+	// Detail is free-form context (payload type, rule name, ...).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Recorder accumulates events. It is safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	// Cap bounds memory; once reached, new events are dropped and Dropped
+	// counts them. Zero means 1 << 20.
+	Cap     int
+	dropped int
+}
+
+// Record appends an event (or counts it as dropped past the cap).
+func (r *Recorder) Record(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	capacity := r.Cap
+	if capacity == 0 {
+		capacity = 1 << 20
+	}
+	if len(r.events) >= capacity {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns the number of events discarded past the cap.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Events returns a copy of the retained events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// WriteJSONL emits the events as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind returns event counts keyed by Kind.
+func (r *Recorder) CountByKind() map[string]int {
+	out := map[string]int{}
+	for _, ev := range r.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Summary renders a one-line-per-kind count report (kinds sorted).
+func (r *Recorder) Summary() string {
+	counts := r.CountByKind()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := ""
+	for _, k := range kinds {
+		out += fmt.Sprintf("%-12s %d\n", k, counts[k])
+	}
+	if d := r.Dropped(); d > 0 {
+		out += fmt.Sprintf("(dropped)    %d\n", d)
+	}
+	return out
+}
+
+// SimnetHook adapts a Recorder to the simulator's Trace callback: every
+// delivered message becomes a "message" event with the payload's dynamic
+// type as detail.
+func SimnetHook(rec *Recorder) func(simnet.Message) {
+	return func(m simnet.Message) {
+		rec.Record(Event{
+			Time:   float64(m.At),
+			Kind:   "message",
+			From:   int(m.From),
+			To:     int(m.To),
+			Round:  -1,
+			Detail: fmt.Sprintf("%T", m.Payload),
+		})
+	}
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/simnet"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Time: 1, Kind: "message", From: 0, To: 1})
+	r.Record(Event{Time: 2, Kind: "aggregate", From: 1, To: -1, Round: 3})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != "message" || evs[1].Round != 3 {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Events returns a copy.
+	evs[0].Kind = "mutated"
+	if r.Events()[0].Kind != "message" {
+		t.Fatal("Events exposed internal storage")
+	}
+}
+
+func TestCapDropsAndCounts(t *testing.T) {
+	r := Recorder{Cap: 2}
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Time: float64(i), Kind: "x"})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped = %d", r.Dropped())
+	}
+	if !strings.Contains(r.Summary(), "(dropped)") {
+		t.Fatal("summary missing dropped line")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Time: 1.5, Kind: "message", From: 2, To: 7, Detail: "msgFlag"})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"kind":"message"`) || !strings.Contains(out, `"detail":"msgFlag"`) {
+		t.Fatalf("jsonl = %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatal("expected exactly one line")
+	}
+}
+
+func TestCountByKindAndSummary(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Kind: "a"})
+	r.Record(Event{Kind: "a"})
+	r.Record(Event{Kind: "b"})
+	counts := r.CountByKind()
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	sum := r.Summary()
+	ai := strings.Index(sum, "a")
+	bi := strings.Index(sum, "b")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Fatalf("summary not sorted: %q", sum)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Kind: "c"})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+type echo struct{}
+
+func (echo) OnMessage(ctx *simnet.Context, msg simnet.Message) {}
+
+func TestSimnetHook(t *testing.T) {
+	var rec Recorder
+	s := simnet.New(simnet.Fixed(2), rng.New(1))
+	s.Trace = SimnetHook(&rec)
+	s.Register(1, echo{})
+	s.Inject(1, "payload")
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("recorded %d events", rec.Len())
+	}
+	ev := rec.Events()[0]
+	if ev.Kind != "message" || ev.To != 1 || ev.Time != 2 || ev.Detail != "string" {
+		t.Fatalf("event = %+v", ev)
+	}
+}

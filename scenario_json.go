@@ -1,0 +1,131 @@
+package abdhfl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// scenarioJSON mirrors Scenario with explicit JSON tags so experiment
+// configurations can be checked into files and replayed exactly.
+type scenarioJSON struct {
+	Topology       string  `json:"topology,omitempty"`
+	Levels         int     `json:"levels,omitempty"`
+	ClusterSize    int     `json:"cluster_size,omitempty"`
+	TopNodes       int     `json:"top_nodes,omitempty"`
+	ACSMDevices    int     `json:"acsm_devices,omitempty"`
+	ACSMMinCluster int     `json:"acsm_min_cluster,omitempty"`
+	ACSMMaxCluster int     `json:"acsm_max_cluster,omitempty"`
+	Distribution   string  `json:"distribution,omitempty"`
+	DirichletAlpha float64 `json:"dirichlet_alpha,omitempty"`
+	Attack         string  `json:"attack,omitempty"`
+	Malicious      float64 `json:"malicious_fraction,omitempty"`
+	Placement      string  `json:"placement,omitempty"`
+	Rounds         int     `json:"rounds,omitempty"`
+	LocalIters     int     `json:"local_iters,omitempty"`
+	BatchSize      int     `json:"batch_size,omitempty"`
+	LearningRate   float64 `json:"learning_rate,omitempty"`
+	Samples        int     `json:"samples_per_client,omitempty"`
+	TestSamples    int     `json:"test_samples,omitempty"`
+	ValSamples     int     `json:"validation_samples,omitempty"`
+	Aggregator     string  `json:"aggregator,omitempty"`
+	TopProtocol    string  `json:"top_protocol,omitempty"`
+	Scheme         int     `json:"scheme,omitempty"`
+	Quorum         float64 `json:"quorum,omitempty"`
+	EvalEvery      int     `json:"eval_every,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	Workers        int     `json:"workers,omitempty"`
+}
+
+func (j scenarioJSON) scenario() Scenario {
+	return Scenario{
+		Topology:          Topology(j.Topology),
+		Levels:            j.Levels,
+		ClusterSize:       j.ClusterSize,
+		TopNodes:          j.TopNodes,
+		ACSMDevices:       j.ACSMDevices,
+		ACSMMinCluster:    j.ACSMMinCluster,
+		ACSMMaxCluster:    j.ACSMMaxCluster,
+		Distribution:      Distribution(j.Distribution),
+		DirichletAlpha:    j.DirichletAlpha,
+		Attack:            Attack(j.Attack),
+		MaliciousFraction: j.Malicious,
+		Placement:         Placement(j.Placement),
+		Rounds:            j.Rounds,
+		LocalIters:        j.LocalIters,
+		BatchSize:         j.BatchSize,
+		LearningRate:      j.LearningRate,
+		SamplesPerClient:  j.Samples,
+		TestSamples:       j.TestSamples,
+		ValidationSamples: j.ValSamples,
+		Aggregator:        j.Aggregator,
+		TopProtocol:       j.TopProtocol,
+		Scheme:            j.Scheme,
+		Quorum:            j.Quorum,
+		EvalEvery:         j.EvalEvery,
+		Seed:              j.Seed,
+		Workers:           j.Workers,
+	}
+}
+
+func (s Scenario) jsonView() scenarioJSON {
+	return scenarioJSON{
+		Topology:       string(s.Topology),
+		Levels:         s.Levels,
+		ClusterSize:    s.ClusterSize,
+		TopNodes:       s.TopNodes,
+		ACSMDevices:    s.ACSMDevices,
+		ACSMMinCluster: s.ACSMMinCluster,
+		ACSMMaxCluster: s.ACSMMaxCluster,
+		Distribution:   string(s.Distribution),
+		DirichletAlpha: s.DirichletAlpha,
+		Attack:         string(s.Attack),
+		Malicious:      s.MaliciousFraction,
+		Placement:      string(s.Placement),
+		Rounds:         s.Rounds,
+		LocalIters:     s.LocalIters,
+		BatchSize:      s.BatchSize,
+		LearningRate:   s.LearningRate,
+		Samples:        s.SamplesPerClient,
+		TestSamples:    s.TestSamples,
+		ValSamples:     s.ValidationSamples,
+		Aggregator:     s.Aggregator,
+		TopProtocol:    s.TopProtocol,
+		Scheme:         s.Scheme,
+		Quorum:         s.Quorum,
+		EvalEvery:      s.EvalEvery,
+		Seed:           s.Seed,
+		Workers:        s.Workers,
+	}
+}
+
+// ReadScenario decodes a JSON scenario description. Unknown fields are
+// rejected so typos in config files surface immediately; defaults are NOT
+// applied (call WithDefaults, or let Build do it).
+func ReadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j scenarioJSON
+	if err := dec.Decode(&j); err != nil {
+		return Scenario{}, fmt.Errorf("abdhfl: decoding scenario: %w", err)
+	}
+	return j.scenario(), nil
+}
+
+// LoadScenario reads a JSON scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer f.Close()
+	return ReadScenario(f)
+}
+
+// WriteScenario encodes the scenario as indented JSON.
+func WriteScenario(w io.Writer, s Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.jsonView())
+}
