@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race exercises the parallel evaluation and consensus-validation fan-out
+# under the race detector; the engines must stay clean for every worker count.
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate: everything must pass before a commit.
+verify: vet build race
+
+# bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
+bench:
+	$(GO) run ./cmd/abdhfl-bench
+
+clean:
+	$(GO) clean ./...

@@ -35,40 +35,33 @@ func (a Krum) Name() string {
 	return "multi-krum"
 }
 
-// Aggregate implements Aggregator.
-func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
-	if err := checkUpdates(updates); err != nil {
-		return nil, err
-	}
-	n := len(updates)
-	f := a.F
+// thresholds resolves the effective (f, k, m) for an n-member update set —
+// the single source of truth shared by Aggregate and Selected so the two
+// paths cannot drift:
+//
+//   - f: assumed Byzantine count, max(F, floor(FFraction*n)).
+//   - k: neighbours per Krum score. Krum needs n-f-2 >= 1; with tiny quorums
+//     (n <= f+2) it falls back to nearest-neighbour scoring (k = 1) so small
+//     clusters — the paper's cluster size is 4 — remain servable; the
+//     selection property (an update surrounded by honest peers wins) is
+//     preserved.
+//   - m: updates averaged; M == 0 selects the MultiKrum default n-f (all
+//     presumed-honest updates), clamped to [1, n].
+func (a Krum) thresholds(n int) (f, k, m int, err error) {
+	f = a.F
 	if ff := int(a.FFraction * float64(n)); ff > f {
 		f = ff
 	}
 	if f < 0 {
-		return nil, fmt.Errorf("aggregate: krum with negative f")
+		return 0, 0, 0, fmt.Errorf("aggregate: krum with negative f")
 	}
-	// Krum's score needs n-f-2 >= 1 neighbours. With tiny quorums (n <= f+2)
-	// fall back to nearest-neighbour scoring (k = 1) so small clusters — the
-	// paper's cluster size is 4 — remain servable; the selection property
-	// (an update surrounded by honest peers wins) is preserved.
-	k := n - f - 2
+	k = n - f - 2
 	if k < 1 {
 		k = 1
 	}
-	if n == 1 {
-		return updates[0].Clone(), nil
-	}
-	scores := krumScores(updates, k)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
-
-	m := a.M
+	m = a.M
 	if m == 0 {
-		m = n - f // MultiKrum default: average all presumed-honest updates
+		m = n - f
 	}
 	if m < 1 {
 		m = 1
@@ -76,6 +69,23 @@ func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 	if m > n {
 		m = n
 	}
+	return f, k, m, nil
+}
+
+// Aggregate implements Aggregator.
+func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	if err := checkUpdates(updates); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	_, k, m, err := a.thresholds(n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return updates[0].Clone(), nil
+	}
+	order := krumOrder(updates, k)
 	if m == 1 {
 		return updates[order[0]].Clone(), nil
 	}
@@ -84,6 +94,17 @@ func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 		chosen[i] = updates[order[i]]
 	}
 	return tensor.Mean(tensor.NewVector(len(updates[0])), chosen), nil
+}
+
+// krumOrder returns the update indices sorted by ascending Krum score.
+func krumOrder(updates []tensor.Vector, k int) []int {
+	scores := krumScores(updates, k)
+	order := make([]int, len(updates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
+	return order
 }
 
 // krumScores returns, for each update, the sum of its k smallest squared
@@ -120,30 +141,9 @@ func (a Krum) Selected(updates []tensor.Vector) ([]int, error) {
 	if err := checkUpdates(updates); err != nil {
 		return nil, err
 	}
-	n := len(updates)
-	f := a.F
-	if ff := int(a.FFraction * float64(n)); ff > f {
-		f = ff
+	_, k, m, err := a.thresholds(len(updates))
+	if err != nil {
+		return nil, err
 	}
-	k := n - f - 2
-	if k < 1 {
-		k = 1
-	}
-	scores := krumScores(updates, k)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
-	m := a.M
-	if m == 0 {
-		m = n - f
-	}
-	if m < 1 {
-		m = 1
-	}
-	if m > n {
-		m = n
-	}
-	return order[:m], nil
+	return krumOrder(updates, k)[:m], nil
 }

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"abdhfl/internal/rng"
 	"abdhfl/internal/tensor"
@@ -34,10 +36,57 @@ type Context struct {
 	// adversarially, send extreme values). May be nil.
 	Byzantine map[int]bool
 	// Validator scores proposals for voting/committee protocols; protocols
-	// that need it return an error when it is nil.
+	// that need it return an error when it is nil. When Workers > 1 the
+	// validator is called from multiple goroutines and must be
+	// concurrency-safe (the engines' validators are: they score on pooled
+	// per-call models).
 	Validator Validator
 	// Rand drives committee sampling and Byzantine value generation.
 	Rand *rng.RNG
+	// Workers bounds the goroutines used to fan out validator scoring; zero
+	// or one keeps scoring on the calling goroutine. Results are identical
+	// for every worker count: per-member work is independent and tallies are
+	// reduced in member order.
+	Workers int
+}
+
+// workers returns the effective scoring fan-out bound.
+func (c *Context) workers() int {
+	if c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// forEachMember runs fn(i) for every member index in [0, n), fanning out
+// over at most `workers` goroutines. fn instances must touch disjoint state
+// (each member writes only its own result slot).
+func forEachMember(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func (c *Context) isByz(i int) bool { return c.Byzantine != nil && c.Byzantine[i] }
@@ -109,9 +158,17 @@ func (v Voting) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, S
 		return nil, Stats{}, errors.New("consensus: voting requires a validator")
 	}
 	n := ctx.Members
+	// Member scorings are independent (each member evaluates every proposal
+	// on its own data), so they fan out over the context's worker bound; the
+	// vote tally is reduced serially in member order, keeping the outcome
+	// identical to the serial protocol.
+	ballots := make([][]bool, n)
+	forEachMember(ctx.workers(), n, func(member int) {
+		ballots[member] = v.votes(ctx, member, proposals)
+	})
 	counts := make([]int, n)
-	for member := 0; member < n; member++ {
-		for i, up := range v.votes(ctx, member, proposals) {
+	for _, ballot := range ballots {
+		for i, up := range ballot {
 			if up {
 				counts[i]++
 			}
@@ -168,13 +225,25 @@ func (c Committee) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector
 		keep = 0.5
 	}
 	committee := ctx.Rand.Choice(n, size)
-	total := make([]float64, n)
-	for _, member := range committee {
+	// Fan the committee members' scorings out like Voting.Agree; summing the
+	// per-member rows in committee order afterwards reproduces the serial
+	// accumulation sequence exactly.
+	rows := make([][]float64, len(committee))
+	forEachMember(ctx.workers(), len(committee), func(ci int) {
+		member := committee[ci]
+		row := make([]float64, n)
 		for i := range proposals {
 			s := ctx.Validator(member, proposals[i])
 			if ctx.isByz(member) {
 				s = -s // a Byzantine committee member inverts its scoring
 			}
+			row[i] = s
+		}
+		rows[ci] = row
+	})
+	total := make([]float64, n)
+	for _, row := range rows {
+		for i, s := range row {
 			total[i] += s
 		}
 	}

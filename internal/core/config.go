@@ -93,7 +93,11 @@ type Config struct {
 	// OnRound, if non-nil, receives every evaluated RoundStat as the run
 	// progresses — streaming progress for long experiments.
 	OnRound func(RoundStat)
-	// Workers bounds the local-training worker pool; zero = GOMAXPROCS.
+	// Workers bounds the worker pools of the run's three parallel hot paths:
+	// local training, consensus validator scoring, and test-set evaluation.
+	// Zero selects GOMAXPROCS. Results are bit-identical for every value —
+	// per-device/per-member work derives its own RNG stream and reductions
+	// run in a fixed order.
 	Workers int
 	// Quorum is the paper's φ: the fraction of a cluster's models a leader
 	// waits for before aggregating. The synchronous round engine uses it to
@@ -151,8 +155,20 @@ func (c *Config) Validate() error {
 		}
 		anyCBA = anyCBA || rule.IsCBA()
 	}
-	if anyCBA && len(c.ValidationShards) == 0 {
-		return errors.New("core: CBA rules require ValidationShards")
+	if c.Global.IsCBA() && len(c.ValidationShards) == 0 {
+		// Without this guard the top-level shard validator would compute
+		// member % len(ValidationShards) and panic with a mod-by-zero mid-run.
+		return errors.New("core: top-level CBA (Global) requires at least one ValidationShard for voting validators")
+	}
+	if anyCBA {
+		if len(c.ValidationShards) == 0 {
+			return errors.New("core: CBA rules require ValidationShards")
+		}
+		for i, s := range c.ValidationShards {
+			if s == nil || s.Len() == 0 {
+				return fmt.Errorf("core: ValidationShards[%d] is empty", i)
+			}
+		}
 	}
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("core: Quorum %v out of [0,1]", c.Quorum)

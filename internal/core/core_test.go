@@ -99,7 +99,13 @@ func TestRunHFLWorkerCountInvariance(t *testing.T) {
 	}
 	for i := range curves[0] {
 		if curves[0][i].Accuracy != curves[1][i].Accuracy {
-			t.Fatalf("workers changed result at round %d", i)
+			t.Fatalf("workers changed accuracy at round %d", i)
+		}
+		// Loss is a float sum, so it only stays bit-identical because the
+		// chunked evaluation reduces partials in fixed chunk order.
+		if curves[0][i].Loss != curves[1][i].Loss {
+			t.Fatalf("workers changed loss at round %d: %v vs %v",
+				i, curves[0][i].Loss, curves[1][i].Loss)
 		}
 	}
 }
@@ -252,6 +258,13 @@ func TestConfigValidation(t *testing.T) {
 	bad.ValidationShards = nil
 	if _, err := RunHFL(bad); err == nil {
 		t.Fatal("CBA without validation shards accepted")
+	}
+
+	bad = cfg
+	bad.ValidationShards = append([]*dataset.Dataset(nil), cfg.ValidationShards...)
+	bad.ValidationShards[0] = &dataset.Dataset{}
+	if _, err := RunHFL(bad); err == nil {
+		t.Fatal("empty validation shard entry accepted")
 	}
 
 	bad = cfg

@@ -111,11 +111,13 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	hcfg := Config{ClientData: cfg.ClientData, Local: cfg.Local, Byzantine: cfg.Byzantine}
 
 	res := &Result{}
-	evalModel := nn.New(root.Derive("eval"), sizes...)
+	evalModel := nn.NewShaped(sizes...)
+	evalWS := nn.NewWorkspace(evalModel)
+	trainer := newLocalTrainer(sizes, workers, devices)
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
 		// Local training: each device trains its own current model.
-		trainLocalFrom(hcfg, sizes, params, trained, roundRNG, workers)
+		trainLocalFrom(trainer, hcfg, params, trained, roundRNG)
 		// Gossip exchange: each device aggregates its model with fanout
 		// random peers' trained models.
 		next := make([]tensor.Vector, devices)
@@ -142,7 +144,7 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			sum := 0.0
 			for _, id := range er.Choice(devices, evalSample) {
 				evalModel.SetParams(params[id])
-				sum += nn.Accuracy(evalModel, cfg.TestData)
+				sum += nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
 			}
 			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: sum / float64(evalSample)})
 		}
@@ -153,29 +155,30 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	return res, nil
 }
 
-// trainLocalFrom is trainLocal with per-device start parameters (gossip has
-// no shared global model).
-func trainLocalFrom(cfg Config, sizes []int, starts, out []tensor.Vector, roundRNG *rng.RNG, workers int) {
+// trainLocalFrom is localTrainer.round with per-device start parameters
+// (gossip has no shared global model). out buffers are reused across rounds:
+// gossip aggregation copies every kept model into a fresh output, so trained
+// vectors are never retained past the round.
+func trainLocalFrom(t *localTrainer, cfg Config, starts, out []tensor.Vector, roundRNG *rng.RNG) {
 	devices := len(starts)
 	jobs := make(chan int)
 	done := make(chan struct{})
-	for w := 0; w < workers; w++ {
-		go func() {
-			m := nn.New(rng.New(1), sizes...)
+	for w := range t.models {
+		go func(m *nn.Model, ws *nn.Workspace) {
 			for id := range jobs {
 				m.SetParams(starts[id])
 				r := roundRNG.Derive(fmt.Sprintf("device-%d", id))
-				nn.SGD(m, cfg.ClientData[id], cfg.Local, r)
-				out[id] = m.Params()
+				nn.SGDWS(m, ws, cfg.ClientData[id], cfg.Local, r)
+				out[id] = m.ParamsInto(out[id])
 			}
 			done <- struct{}{}
-		}()
+		}(t.models[w], t.wss[w])
 	}
 	for id := 0; id < devices; id++ {
 		jobs <- id
 	}
 	close(jobs)
-	for w := 0; w < workers; w++ {
+	for range t.models {
 		<-done
 	}
 }

@@ -42,8 +42,10 @@ func RunHFL(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{}
-	evalModel := nn.New(root.Derive("eval"), sizes...)
+	evalModel := nn.NewShaped(sizes...)
+	pool := nn.NewEvalPool(sizes...)
 	updates := make([]tensor.Vector, devices)
+	trainer := newLocalTrainer(sizes, workers, devices)
 
 	baseTree := tree
 	for round := 0; round < cfg.Rounds; round++ {
@@ -64,7 +66,7 @@ func RunHFL(cfg Config) (*Result, error) {
 		offline := drawOffline(cfg, roundRNG, devices)
 
 		// --- Local model training (Algorithm 2) over a worker pool.
-		trainLocal(cfg, sizes, globalParams, updates, offline, roundRNG, workers)
+		trainer.round(cfg, globalParams, updates, offline, roundRNG)
 
 		// --- Model-update attacks by Byzantine devices (omniscient model).
 		if cfg.ModelAttack != nil {
@@ -105,7 +107,7 @@ func RunHFL(cfg Config) (*Result, error) {
 					continue
 				}
 				vecs, ids = applyQuorum(cfg, roundRNG, lvl, ci, vecs, ids)
-				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids)
+				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids, pool)
 				if err != nil {
 					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
 				}
@@ -118,7 +120,7 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Global model aggregation (Algorithm 6) at the top. After the
 		// level loop, partials holds one model per level-1 cluster, whose
 		// leaders are exactly the top cluster's members.
-		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials)
+		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d top level: %w", round, err)
 		}
@@ -133,8 +135,9 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Evaluation.
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
 			evalModel.SetParams(globalParams)
-			acc := nn.Accuracy(evalModel, cfg.TestData)
-			loss := nn.Loss(evalModel, cfg.TestData)
+			// Evaluate's chunked reduction is worker-count-invariant, so the
+			// curve is bit-identical whatever cfg.Workers is.
+			acc, loss := nn.Evaluate(evalModel, cfg.TestData, workers)
 			stat := RoundStat{Round: round + 1, Accuracy: acc, Loss: loss}
 			res.Curve = append(res.Curve, stat)
 			if cfg.OnRound != nil {
@@ -159,24 +162,53 @@ func childIndex(tree *topology.Tree, c *topology.Cluster, mi int) int {
 	return children[mi].Index
 }
 
-// trainLocal runs every device's local SGD in parallel and stores flattened
-// parameter updates.
-func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG, workers int) {
+// localTrainer owns the per-worker training models/workspaces and the
+// per-device update buffers, all reused across rounds. Every device still
+// derives its own random stream, so results are independent of both worker
+// count and job scheduling; the reuse only removes the per-round
+// model/gradient/activation allocations that previously dominated the GC
+// profile.
+type localTrainer struct {
+	models []*nn.Model
+	wss    []*nn.Workspace
+	// bufs[id] is device id's flat-parameter buffer; updates[id] aliases it
+	// on rounds the device is online. Downstream aggregation never retains
+	// update vectors across rounds (all rules copy into fresh outputs), so
+	// the buffers are free for reuse each round.
+	bufs []tensor.Vector
+}
+
+func newLocalTrainer(sizes []int, workers, devices int) *localTrainer {
+	t := &localTrainer{
+		models: make([]*nn.Model, workers),
+		wss:    make([]*nn.Workspace, workers),
+		bufs:   make([]tensor.Vector, devices),
+	}
+	for w := 0; w < workers; w++ {
+		t.models[w] = nn.NewShaped(sizes...)
+		t.wss[w] = nn.NewWorkspace(t.models[w])
+	}
+	return t
+}
+
+// round runs every online device's local SGD over the worker pool and stores
+// flattened parameter updates (offline devices get nil).
+func (t *localTrainer) round(cfg Config, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG) {
 	devices := len(updates)
 	var wg sync.WaitGroup
 	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
+	for w := range t.models {
 		wg.Add(1)
-		go func() {
+		go func(m *nn.Model, ws *nn.Workspace) {
 			defer wg.Done()
-			m := nn.New(rng.New(1), sizes...)
 			for id := range jobs {
 				m.SetParams(start)
 				r := roundRNG.Derive(fmt.Sprintf("device-%d", id))
-				nn.SGD(m, cfg.ClientData[id], cfg.Local, r)
-				updates[id] = m.Params()
+				nn.SGDWS(m, ws, cfg.ClientData[id], cfg.Local, r)
+				t.bufs[id] = m.ParamsInto(t.bufs[id])
+				updates[id] = t.bufs[id]
 			}
-		}()
+		}(t.models[w], t.wss[w])
 	}
 	for id := 0; id < devices; id++ {
 		if offline[id] {
@@ -187,6 +219,12 @@ func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.V
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// trainLocal is the one-shot form of localTrainer.round, kept for engines
+// without per-round state (vanilla).
+func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG, workers int) {
+	newLocalTrainer(sizes, workers, len(updates)).round(cfg, start, updates, offline, roundRNG)
 }
 
 // drawOffline samples the round's offline set deterministically.
@@ -278,7 +316,7 @@ func ruleForLevel(cfg Config, lvl int) LevelRule {
 // intermediate rule and returns its communication cost: members upload to
 // the leader and the leader broadcasts the result back (BRA), or all members
 // exchange proposals (CBA).
-func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int) (tensor.Vector, CommStats, error) {
+func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int, pool *nn.EvalPool) (tensor.Vector, CommStats, error) {
 	var comm CommStats
 	n := len(vecs)
 	if n == 0 {
@@ -298,8 +336,9 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 	ctx := &consensus.Context{
 		Members:   n,
 		Byzantine: protocolByzantine(cfg, ids),
-		Validator: localValidator(cfg, ids),
+		Validator: localValidator(cfg, ids, pool),
 		Rand:      roundRNG.Derive(fmt.Sprintf("cba-%d-%d", c.Level, c.Index)),
+		Workers:   cfg.Workers,
 	}
 	agg, st, err := rule.CBA.Agree(ctx, vecs)
 	if err != nil {
@@ -311,7 +350,7 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 }
 
 // aggregateTop forms the global model (Algorithm 6).
-func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector) (tensor.Vector, CommStats, int, error) {
+func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool) (tensor.Vector, CommStats, int, error) {
 	var comm CommStats
 	vecs := make([]tensor.Vector, 0, len(partials))
 	for _, p := range partials {
@@ -335,8 +374,9 @@ func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials [
 	ctx := &consensus.Context{
 		Members:   len(vecs),
 		Byzantine: protocolByzantine(cfg, top.Members[:min(len(vecs), top.Size())]),
-		Validator: shardValidator(cfg),
+		Validator: shardValidator(cfg, pool),
 		Rand:      roundRNG.Derive("cba-top"),
+		Workers:   cfg.Workers,
 	}
 	agg, st, err := cfg.Global.CBA.Agree(ctx, vecs)
 	if err != nil {
@@ -364,26 +404,29 @@ func protocolByzantine(cfg Config, ids []int) map[int]bool {
 }
 
 // localValidator scores a proposal by its accuracy on the member device's
-// own training shard — the only data an intermediate node holds.
-func localValidator(cfg Config, ids []int) consensus.Validator {
-	sizes := cfg.modelSizes()
+// own training shard — the only data an intermediate node holds. Scoring
+// runs on pooled evaluation models so the n×n scorings of a voting round
+// neither allocate nor contend, and the validator is safe for the consensus
+// layer's parallel fan-out.
+func localValidator(cfg Config, ids []int, pool *nn.EvalPool) consensus.Validator {
 	return func(member int, model tensor.Vector) float64 {
-		id := ids[member]
-		m := nn.New(rng.New(1), sizes...)
-		m.SetParams(model)
-		return nn.Accuracy(m, cfg.ClientData[id])
+		s := pool.Get()
+		defer pool.Put(s)
+		s.Model.SetParams(model)
+		return nn.AccuracyWS(s.Model, s.WS, cfg.ClientData[ids[member]])
 	}
 }
 
 // shardValidator scores a proposal by its accuracy on a top node's private
-// validation shard (the paper's Appendix D-B voting input).
-func shardValidator(cfg Config) consensus.Validator {
-	sizes := cfg.modelSizes()
+// validation shard (the paper's Appendix D-B voting input). Config.Validate
+// rejects CBA configurations without shards before a run starts.
+func shardValidator(cfg Config, pool *nn.EvalPool) consensus.Validator {
 	return func(member int, model tensor.Vector) float64 {
 		shard := cfg.ValidationShards[member%len(cfg.ValidationShards)]
-		m := nn.New(rng.New(1), sizes...)
-		m.SetParams(model)
-		return nn.Accuracy(m, shard)
+		s := pool.Get()
+		defer pool.Put(s)
+		s.Model.SetParams(model)
+		return nn.AccuracyWS(s.Model, s.WS, shard)
 	}
 }
 

@@ -69,7 +69,7 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 	root := rng.New(cfg.Seed)
 	sizes := cfg.modelSizes()
 	globalParams := nn.New(root.Derive("init"), sizes...).Params()
-	evalModel := nn.New(root.Derive("eval"), sizes...)
+	evalModel := nn.NewShaped(sizes...)
 
 	clients := len(cfg.ClientData)
 	workers := cfg.Workers
@@ -84,9 +84,10 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 
 	res := &Result{}
 	updates := make([]tensor.Vector, clients)
+	trainer := newLocalTrainer(sizes, workers, clients)
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
-		trainLocal(hcfg, sizes, globalParams, updates, nil, roundRNG, workers)
+		trainer.round(hcfg, globalParams, updates, nil, roundRNG)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
 		}
@@ -100,11 +101,8 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
 			evalModel.SetParams(globalParams)
-			res.Curve = append(res.Curve, RoundStat{
-				Round:    round + 1,
-				Accuracy: nn.Accuracy(evalModel, cfg.TestData),
-				Loss:     nn.Loss(evalModel, cfg.TestData),
-			})
+			acc, loss := nn.Evaluate(evalModel, cfg.TestData, workers)
+			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: acc, Loss: loss})
 		}
 	}
 	if len(res.Curve) > 0 {

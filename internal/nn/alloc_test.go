@@ -1,0 +1,196 @@
+package nn
+
+import (
+	"testing"
+
+	"abdhfl/internal/dataset"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// The workspace contract: with a warm Workspace the training and evaluation
+// hot paths perform zero allocations per operation. These are regression
+// tests — the seed implementation allocated per layer per sample (several
+// hundred thousand allocs per simulated run), so any reappearing allocation
+// here is a performance bug.
+
+func allocModel() (*Model, *Workspace, *dataset.Dataset) {
+	m := New(rng.New(1), dataset.Dim, 32, dataset.NumClasses)
+	ws := NewWorkspace(m)
+	d := dataset.Generate(rng.New(2), 64, dataset.DefaultGen())
+	return m, ws, d
+}
+
+func TestForwardWSAllocationFree(t *testing.T) {
+	m, ws, d := allocModel()
+	m.ForwardWS(ws, d.X[0]) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		m.ForwardWS(ws, d.X[0])
+	})
+	if allocs > 0 {
+		t.Fatalf("ForwardWS allocates %.1f objects/op with a warm workspace, want 0", allocs)
+	}
+}
+
+func TestBackwardStepAllocationFree(t *testing.T) {
+	m, ws, d := allocModel()
+	g := NewGrads(m)
+	m.BackwardWS(ws, g, d.X[0], d.Y[0]) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		g.Zero()
+		m.BackwardWS(ws, g, d.X[0], d.Y[0])
+		m.Step(g, 0.1, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("Backward+Step allocates %.1f objects/op with a warm workspace, want 0", allocs)
+	}
+}
+
+func TestAccuracyWSAllocationFree(t *testing.T) {
+	m, ws, d := allocModel()
+	AccuracyWS(m, ws, d) // warm up
+	allocs := testing.AllocsPerRun(20, func() {
+		AccuracyWS(m, ws, d)
+	})
+	if allocs > 0 {
+		t.Fatalf("AccuracyWS allocates %.1f objects/op with a warm workspace, want 0", allocs)
+	}
+}
+
+func TestEvaluateWSAllocationFree(t *testing.T) {
+	m, ws, d := allocModel()
+	EvaluateWS(m, ws, d) // warm up
+	allocs := testing.AllocsPerRun(20, func() {
+		EvaluateWS(m, ws, d)
+	})
+	if allocs > 0 {
+		t.Fatalf("EvaluateWS allocates %.1f objects/op with a warm workspace, want 0", allocs)
+	}
+}
+
+func TestSGDWSSteadyStateAllocationFree(t *testing.T) {
+	m, ws, d := allocModel()
+	cfg := TrainConfig{LearningRate: 0.1, BatchSize: 8, Iterations: 2}
+	r := rng.New(3)
+	SGDWS(m, ws, d, cfg, r) // warm up (lazily allocates the grad accumulator)
+	allocs := testing.AllocsPerRun(10, func() {
+		SGDWS(m, ws, d, cfg, r)
+	})
+	if allocs > 0 {
+		t.Fatalf("SGDWS allocates %.1f objects/op with a warm workspace, want 0", allocs)
+	}
+}
+
+func TestParamsIntoReusesBuffer(t *testing.T) {
+	m, _, _ := allocModel()
+	buf := m.ParamsInto(nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = m.ParamsInto(buf)
+	})
+	if allocs > 0 {
+		t.Fatalf("ParamsInto allocates %.1f objects/op with a right-sized buffer, want 0", allocs)
+	}
+	if got, want := len(buf), m.NumParams(); got != want {
+		t.Fatalf("ParamsInto length %d, want %d", got, want)
+	}
+}
+
+// The WS fast paths must be bit-identical to the allocating reference paths.
+
+func TestWorkspacePathsMatchReference(t *testing.T) {
+	m, ws, d := allocModel()
+	x := d.X[0]
+	ref := m.Forward(x)
+	got := m.ForwardWS(ws, x)
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("ForwardWS[%d] = %v, Forward = %v", i, got[i], ref[i])
+		}
+	}
+
+	g1, g2 := NewGrads(m), NewGrads(m)
+	l1 := m.Backward(g1, x, d.Y[0])
+	l2 := m.BackwardWS(ws, g2, x, d.Y[0])
+	if l1 != l2 {
+		t.Fatalf("BackwardWS loss %v, Backward %v", l2, l1)
+	}
+	for l := range g1.Weights {
+		for i := range g1.Weights[l].Data {
+			if g1.Weights[l].Data[i] != g2.Weights[l].Data[i] {
+				t.Fatalf("layer %d weight grad %d differs", l, i)
+			}
+		}
+		for i := range g1.Biases[l] {
+			if g1.Biases[l][i] != g2.Biases[l][i] {
+				t.Fatalf("layer %d bias grad %d differs", l, i)
+			}
+		}
+	}
+}
+
+func TestSGDWSMatchesSGD(t *testing.T) {
+	d := dataset.Generate(rng.New(2), 64, dataset.DefaultGen())
+	cfg := TrainConfig{LearningRate: 0.1, BatchSize: 8, Iterations: 3, Momentum: 0.9, WeightDecay: 1e-4}
+	m1 := New(rng.New(1), dataset.Dim, 16, dataset.NumClasses)
+	m2 := m1.Clone()
+	l1 := SGD(m1, d, cfg, rng.New(5))
+	l2 := SGDWS(m2, NewWorkspace(m2), d, cfg, rng.New(5))
+	if l1 != l2 {
+		t.Fatalf("SGDWS mean loss %v, SGD %v", l2, l1)
+	}
+	p1, p2 := m1.Params(), m2.Params()
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("param %d differs after SGD: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+}
+
+// Parallel evaluation must be bit-identical for every worker count,
+// including the serial case.
+
+func TestEvalWorkerCountInvariance(t *testing.T) {
+	m := New(rng.New(1), dataset.Dim, 32, dataset.NumClasses)
+	// Enough samples to span several chunks so the parallel path is real.
+	d := dataset.Generate(rng.New(2), 3*evalChunkSize+17, dataset.DefaultGen())
+	refAcc := AccuracyWorkers(m, d, 1)
+	refLoss := LossWorkers(m, d, 1)
+	refEvalAcc, refEvalLoss := Evaluate(m, d, 1)
+	for _, workers := range []int{2, 3, 8} {
+		if acc := AccuracyWorkers(m, d, workers); acc != refAcc {
+			t.Fatalf("Accuracy with %d workers = %v, serial = %v", workers, acc, refAcc)
+		}
+		if loss := LossWorkers(m, d, workers); loss != refLoss {
+			t.Fatalf("Loss with %d workers = %v, serial = %v", workers, loss, refLoss)
+		}
+		acc, loss := Evaluate(m, d, workers)
+		if acc != refEvalAcc || loss != refEvalLoss {
+			t.Fatalf("Evaluate with %d workers = (%v, %v), serial = (%v, %v)",
+				workers, acc, loss, refEvalAcc, refEvalLoss)
+		}
+	}
+	// The combined kernel must agree with the separate kernels on accuracy
+	// and loss values.
+	if refEvalAcc != refAcc {
+		t.Fatalf("Evaluate acc %v != Accuracy %v", refEvalAcc, refAcc)
+	}
+	if refEvalLoss != refLoss {
+		t.Fatalf("Evaluate loss %v != Loss %v", refEvalLoss, refLoss)
+	}
+}
+
+func TestNewShapedMatchesSetParams(t *testing.T) {
+	src := New(rng.New(9), dataset.Dim, 16, dataset.NumClasses)
+	shell := NewShaped(dataset.Dim, 16, dataset.NumClasses)
+	shell.SetParams(src.Params())
+	x := tensor.NewVector(dataset.Dim)
+	for i := range x {
+		x[i] = float64(i%7) * 0.1
+	}
+	a, b := src.Forward(x), shell.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("NewShaped+SetParams logit %d = %v, want %v", i, b[i], a[i])
+		}
+	}
+}

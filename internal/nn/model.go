@@ -24,18 +24,29 @@ type Model struct {
 // New constructs a model with the given layer sizes and He-initialised
 // weights drawn from r. It panics on fewer than two layers.
 func New(r *rng.RNG, sizes ...int) *Model {
+	m := NewShaped(sizes...)
+	for l := range m.Weights {
+		w := m.Weights[l]
+		std := math.Sqrt(2 / float64(w.Cols))
+		for i := range w.Data {
+			w.Data[i] = std * r.NormFloat64()
+		}
+	}
+	return m
+}
+
+// NewShaped constructs a zero-initialised model of the given layer sizes —
+// the right constructor for evaluation shells whose parameters are about to
+// be overwritten by SetParams, where He initialisation would only burn RNG
+// draws. It panics on fewer than two layers.
+func NewShaped(sizes ...int) *Model {
 	if len(sizes) < 2 {
 		panic("nn: model needs at least input and output layers")
 	}
 	m := &Model{Sizes: append([]int(nil), sizes...)}
 	for l := 0; l < len(sizes)-1; l++ {
 		in, out := sizes[l], sizes[l+1]
-		w := tensor.NewMatrix(out, in)
-		std := math.Sqrt(2 / float64(in))
-		for i := range w.Data {
-			w.Data[i] = std * r.NormFloat64()
-		}
-		m.Weights = append(m.Weights, w)
+		m.Weights = append(m.Weights, tensor.NewMatrix(out, in))
 		m.Biases = append(m.Biases, tensor.NewVector(out))
 	}
 	return m
@@ -67,12 +78,25 @@ func (m *Model) Clone() *Model {
 // layer (weights row-major, then biases). The layout is the wire format used
 // by every aggregation rule.
 func (m *Model) Params() tensor.Vector {
-	p := make(tensor.Vector, 0, m.NumParams())
-	for l := range m.Weights {
-		p = append(p, m.Weights[l].Data...)
-		p = append(p, m.Biases[l]...)
+	return m.ParamsInto(nil)
+}
+
+// ParamsInto flattens all parameters into dst, growing it only when dst is
+// too small, and returns the (possibly reallocated) buffer. Passing the
+// previous round's buffer back in makes repeated parameter extraction
+// allocation-free.
+func (m *Model) ParamsInto(dst tensor.Vector) tensor.Vector {
+	n := m.NumParams()
+	if cap(dst) < n {
+		dst = make(tensor.Vector, n)
 	}
-	return p
+	dst = dst[:n]
+	pos := 0
+	for l := range m.Weights {
+		pos += copy(dst[pos:], m.Weights[l].Data)
+		pos += copy(dst[pos:], m.Biases[l])
+	}
+	return dst
 }
 
 // SetParams loads a flat parameter vector produced by Params. It panics on a
@@ -90,19 +114,10 @@ func (m *Model) SetParams(p tensor.Vector) {
 	}
 }
 
-// Forward computes the class logits for input x.
+// Forward computes the class logits for input x. It allocates a transient
+// workspace per call; hot paths should hold a Workspace and use ForwardWS.
 func (m *Model) Forward(x tensor.Vector) tensor.Vector {
-	act := x
-	for l := range m.Weights {
-		z := tensor.NewVector(m.Sizes[l+1])
-		tensor.MatVec(z, m.Weights[l], act)
-		tensor.Add(z, z, m.Biases[l])
-		if l < len(m.Weights)-1 {
-			relu(z)
-		}
-		act = z
-	}
-	return act
+	return m.ForwardWS(NewWorkspace(m), x)
 }
 
 // Predict returns the argmax class for input x.
@@ -161,46 +176,11 @@ func (g *Grads) Zero() {
 
 // Backward accumulates into g the gradient of the softmax cross-entropy loss
 // for sample (x, label) and returns the sample loss. The caller is
-// responsible for averaging (gradients accumulate raw sums).
+// responsible for averaging (gradients accumulate raw sums). It allocates a
+// transient workspace per call; hot paths should hold a Workspace and use
+// BackwardWS.
 func (m *Model) Backward(g *Grads, x tensor.Vector, label int) float64 {
-	L := m.Layers()
-	// Forward pass, caching pre-activation inputs of every layer.
-	acts := make([]tensor.Vector, L+1)
-	acts[0] = x
-	for l := 0; l < L; l++ {
-		z := tensor.NewVector(m.Sizes[l+1])
-		tensor.MatVec(z, m.Weights[l], acts[l])
-		tensor.Add(z, z, m.Biases[l])
-		if l < L-1 {
-			relu(z)
-		}
-		acts[l+1] = z
-	}
-	// Softmax + cross entropy: delta = p - onehot(label).
-	out := acts[L]
-	probs := tensor.NewVector(len(out))
-	Softmax(probs, out)
-	loss := -math.Log(math.Max(probs[label], 1e-12))
-	delta := probs
-	delta[label] -= 1
-	// Backward pass.
-	for l := L - 1; l >= 0; l-- {
-		tensor.AddOuter(g.Weights[l], 1, delta, acts[l])
-		tensor.Axpy(g.Biases[l], 1, delta)
-		if l == 0 {
-			break
-		}
-		prev := tensor.NewVector(m.Sizes[l])
-		tensor.MatTVec(prev, m.Weights[l], delta)
-		// ReLU derivative: zero where the activation was clamped.
-		for i, a := range acts[l] {
-			if a <= 0 {
-				prev[i] = 0
-			}
-		}
-		delta = prev
-	}
-	return loss
+	return m.BackwardWS(NewWorkspace(m), g, x, label)
 }
 
 // Step applies one SGD update: params -= lr/batch * grads.

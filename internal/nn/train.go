@@ -26,8 +26,17 @@ func DefaultTrain() TrainConfig {
 // SGD performs cfg.Iterations minibatch SGD steps on m over d, sampling
 // batches from r. It returns the mean loss across all processed samples.
 // When d has fewer samples than the batch size, the whole dataset is used as
-// one batch.
+// one batch. It allocates a transient workspace per call; workers that train
+// many devices should hold a Workspace and use SGDWS.
 func SGD(m *Model, d *dataset.Dataset, cfg TrainConfig, r *rng.RNG) float64 {
+	return SGDWS(m, NewWorkspace(m), d, cfg, r)
+}
+
+// SGDWS is SGD with caller-provided scratch: gradient and momentum
+// accumulators live in ws, so a worker looping over devices performs the
+// whole optimisation without allocating. It produces bit-identical results
+// to SGD.
+func SGDWS(m *Model, ws *Workspace, d *dataset.Dataset, cfg TrainConfig, r *rng.RNG) float64 {
 	if d.Len() == 0 {
 		return 0
 	}
@@ -35,10 +44,10 @@ func SGD(m *Model, d *dataset.Dataset, cfg TrainConfig, r *rng.RNG) float64 {
 	if batch > d.Len() {
 		batch = d.Len()
 	}
-	g := NewGrads(m)
+	g := ws.gradsFor(m)
 	var vel *Grads
 	if cfg.Momentum > 0 {
-		vel = NewGrads(m)
+		vel = ws.velFor(m)
 	}
 	totalLoss := 0.0
 	samples := 0
@@ -46,7 +55,7 @@ func SGD(m *Model, d *dataset.Dataset, cfg TrainConfig, r *rng.RNG) float64 {
 		g.Zero()
 		for b := 0; b < batch; b++ {
 			i := r.Intn(d.Len())
-			totalLoss += m.Backward(g, d.X[i], d.Y[i])
+			totalLoss += m.BackwardWS(ws, g, d.X[i], d.Y[i])
 			samples++
 		}
 		if cfg.WeightDecay > 0 {
@@ -75,39 +84,4 @@ func SGD(m *Model, d *dataset.Dataset, cfg TrainConfig, r *rng.RNG) float64 {
 		return 0
 	}
 	return totalLoss / float64(samples)
-}
-
-// Accuracy evaluates m on d and returns the fraction of correct argmax
-// predictions in [0, 1].
-func Accuracy(m *Model, d *dataset.Dataset) float64 {
-	if d.Len() == 0 {
-		return 0
-	}
-	correct := 0
-	for i := range d.X {
-		if m.Predict(d.X[i]) == d.Y[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(d.Len())
-}
-
-// Loss returns the mean softmax cross-entropy loss of m on d without
-// touching parameters.
-func Loss(m *Model, d *dataset.Dataset) float64 {
-	if d.Len() == 0 {
-		return 0
-	}
-	total := 0.0
-	probs := tensor.NewVector(m.Sizes[len(m.Sizes)-1])
-	for i := range d.X {
-		logits := m.Forward(d.X[i])
-		Softmax(probs, logits)
-		p := probs[d.Y[i]]
-		if p < 1e-12 {
-			p = 1e-12
-		}
-		total += -ln(p)
-	}
-	return total / float64(d.Len())
 }

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"fmt"
+	"sync"
+
+	"abdhfl/internal/tensor"
+)
+
+// Workspace holds the scratch buffers one evaluation/training thread needs to
+// run forward and backward passes without per-call allocation: layer
+// activations, backprop deltas, the softmax probability vector, and (lazily)
+// gradient and momentum accumulators. A warm Workspace makes ForwardWS,
+// BackwardWS, and the *WS evaluation helpers allocation-free, which is what
+// keeps the simulator's inner loops off the garbage collector.
+//
+// A Workspace is NOT safe for concurrent use; give each goroutine its own
+// (see EvalPool) and reuse it across calls.
+type Workspace struct {
+	sizes []int
+	// acts[l] is layer l's activation; acts[0] aliases the current input and
+	// is cleared after each pass so the workspace never pins caller data.
+	acts []tensor.Vector
+	// deltas[l] is the backprop error scratch entering layer l (1 <= l < L).
+	deltas []tensor.Vector
+	probs  tensor.Vector
+	grads  *Grads
+	vel    *Grads
+}
+
+// NewWorkspace returns a workspace shaped for m. It can be reused for any
+// model with identical layer sizes.
+func NewWorkspace(m *Model) *Workspace {
+	L := m.Layers()
+	w := &Workspace{
+		sizes:  append([]int(nil), m.Sizes...),
+		acts:   make([]tensor.Vector, L+1),
+		deltas: make([]tensor.Vector, L),
+		probs:  tensor.NewVector(m.Sizes[L]),
+	}
+	for l := 0; l < L; l++ {
+		w.acts[l+1] = tensor.NewVector(m.Sizes[l+1])
+		if l >= 1 {
+			w.deltas[l] = tensor.NewVector(m.Sizes[l])
+		}
+	}
+	return w
+}
+
+// checkModel panics when m's shape does not match the workspace.
+func (w *Workspace) checkModel(m *Model) {
+	if len(m.Sizes) != len(w.sizes) {
+		panic(fmt.Sprintf("nn: workspace shaped %v used with model %v", w.sizes, m.Sizes))
+	}
+	for i, s := range m.Sizes {
+		if w.sizes[i] != s {
+			panic(fmt.Sprintf("nn: workspace shaped %v used with model %v", w.sizes, m.Sizes))
+		}
+	}
+}
+
+// gradsFor returns the workspace's gradient accumulator, allocating it on
+// first use. The contents are whatever the previous user left; callers zero
+// it (SGD does so every iteration).
+func (w *Workspace) gradsFor(m *Model) *Grads {
+	if w.grads == nil {
+		w.grads = NewGrads(m)
+	}
+	return w.grads
+}
+
+// velFor returns the workspace's momentum accumulator zeroed for a fresh
+// optimisation run, allocating it on first use.
+func (w *Workspace) velFor(m *Model) *Grads {
+	if w.vel == nil {
+		w.vel = NewGrads(m)
+		return w.vel
+	}
+	w.vel.Zero()
+	return w.vel
+}
+
+// ForwardWS computes the class logits for input x using ws as scratch. The
+// returned vector is owned by ws and valid until its next use.
+func (m *Model) ForwardWS(ws *Workspace, x tensor.Vector) tensor.Vector {
+	ws.checkModel(m)
+	act := x
+	for l := range m.Weights {
+		z := ws.acts[l+1]
+		tensor.MatVec(z, m.Weights[l], act)
+		tensor.Add(z, z, m.Biases[l])
+		if l < len(m.Weights)-1 {
+			relu(z)
+		}
+		act = z
+	}
+	return act
+}
+
+// PredictWS returns the argmax class for input x using ws as scratch.
+func (m *Model) PredictWS(ws *Workspace, x tensor.Vector) int {
+	return tensor.ArgMax(m.ForwardWS(ws, x))
+}
+
+// BackwardWS accumulates into g the gradient of the softmax cross-entropy
+// loss for sample (x, label) using ws as scratch, and returns the sample
+// loss. It is Backward without the per-layer allocations.
+func (m *Model) BackwardWS(ws *Workspace, g *Grads, x tensor.Vector, label int) float64 {
+	ws.checkModel(m)
+	L := m.Layers()
+	// Forward pass, caching post-activation outputs of every layer.
+	ws.acts[0] = x
+	for l := 0; l < L; l++ {
+		z := ws.acts[l+1]
+		tensor.MatVec(z, m.Weights[l], ws.acts[l])
+		tensor.Add(z, z, m.Biases[l])
+		if l < L-1 {
+			relu(z)
+		}
+	}
+	// Softmax + cross entropy: delta = p - onehot(label).
+	out := ws.acts[L]
+	probs := ws.probs
+	Softmax(probs, out)
+	loss := -ln(max64(probs[label], 1e-12))
+	delta := probs
+	delta[label] -= 1
+	// Backward pass.
+	for l := L - 1; l >= 0; l-- {
+		tensor.AddOuter(g.Weights[l], 1, delta, ws.acts[l])
+		tensor.Axpy(g.Biases[l], 1, delta)
+		if l == 0 {
+			break
+		}
+		prev := ws.deltas[l]
+		tensor.MatTVec(prev, m.Weights[l], delta)
+		// ReLU derivative: zero where the activation was clamped.
+		for i, a := range ws.acts[l] {
+			if a <= 0 {
+				prev[i] = 0
+			}
+		}
+		delta = prev
+	}
+	ws.acts[0] = nil
+	return loss
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EvalScratch bundles a reusable evaluation model with a matching workspace —
+// everything a validator needs to score a flat parameter vector without
+// allocating.
+type EvalScratch struct {
+	Model *Model
+	WS    *Workspace
+}
+
+// EvalPool is a concurrency-safe cache of EvalScratch values of one model
+// shape. Consensus validators score n×n (member, proposal) pairs per round;
+// building a fresh He-initialised model per call — immediately overwritten by
+// SetParams — was the simulator's single largest allocation source. A pool
+// amortises the model and workspace across calls and across goroutines.
+type EvalPool struct {
+	pool sync.Pool
+}
+
+// NewEvalPool returns a pool producing models with the given layer sizes.
+func NewEvalPool(sizes ...int) *EvalPool {
+	shape := append([]int(nil), sizes...)
+	p := &EvalPool{}
+	p.pool.New = func() any {
+		m := NewShaped(shape...)
+		return &EvalScratch{Model: m, WS: NewWorkspace(m)}
+	}
+	return p
+}
+
+// Get returns a scratch with undefined parameter contents; callers SetParams
+// before use and Put it back when done.
+func (p *EvalPool) Get() *EvalScratch { return p.pool.Get().(*EvalScratch) }
+
+// Put returns s to the pool.
+func (p *EvalPool) Put(s *EvalScratch) { p.pool.Put(s) }

@@ -148,6 +148,11 @@ type Config struct {
 	Seed uint64
 	// EvalEvery rounds between accuracy evaluations; zero selects 1.
 	EvalEvery int
+	// Workers bounds the goroutines used for consensus validator scoring and
+	// test-set evaluation (the simulation's event loop itself stays
+	// single-threaded and deterministic); zero selects GOMAXPROCS. Results
+	// are bit-identical for every value.
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -176,8 +181,17 @@ func (c *Config) Validate() error {
 	if c.TopVoting == nil && c.TopBRA == nil {
 		return errors.New("pipeline: set TopBRA or TopVoting")
 	}
-	if c.TopVoting != nil && len(c.ValidationShards) == 0 {
-		return errors.New("pipeline: TopVoting requires ValidationShards")
+	if c.TopVoting != nil {
+		if len(c.ValidationShards) == 0 {
+			// The shard validator indexes member % len(ValidationShards); an
+			// empty slice would be a mod-by-zero panic mid-simulation.
+			return errors.New("pipeline: TopVoting requires at least one ValidationShard")
+		}
+		for i, s := range c.ValidationShards {
+			if s == nil || s.Len() == 0 {
+				return fmt.Errorf("pipeline: ValidationShards[%d] is empty", i)
+			}
+		}
 	}
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("pipeline: Quorum %v out of [0,1]", c.Quorum)

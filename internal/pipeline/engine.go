@@ -58,6 +58,8 @@ type engine struct {
 
 	result    *Result
 	evalModel *nn.Model
+	evalPool  *nn.EvalPool
+	workers   int
 	quorumOf  func(size int) int
 	alpha     AlphaPolicy
 	done      bool
@@ -97,6 +99,7 @@ type deviceActor struct {
 	stashedFlag *msgFlag
 	pending     []msgGlobal
 	model       *nn.Model
+	ws          *nn.Workspace
 }
 
 func (d *deviceActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
@@ -135,7 +138,9 @@ func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.
 	e := d.e
 	d.model.SetParams(startParams)
 	r := e.root.Derive(fmt.Sprintf("sgd-%d-%d", d.id, round))
-	nn.SGD(d.model, e.cfg.ClientData[d.id], e.cfg.Local, r)
+	nn.SGDWS(d.model, d.ws, e.cfg.ClientData[d.id], e.cfg.Local, r)
+	// The update is sent as a message and retained by collectors, so it must
+	// be a fresh vector (no buffer reuse here, unlike the round engine).
 	out := d.model.Params()
 	// Correction-factor merges for globals that arrived during training.
 	for _, g := range d.pending {
@@ -300,6 +305,7 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 			Members:   len(vecs),
 			Validator: e.shardValidator(),
 			Rand:      e.root.Derive(fmt.Sprintf("vote-%d", round)),
+			Workers:   e.workers,
 		}
 		global, _, err = e.cfg.TopVoting.Agree(cctx, vecs)
 	} else {
@@ -328,12 +334,13 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 }
 
 func (e *engine) shardValidator() consensus.Validator {
-	sizes := e.sizes
 	shards := e.cfg.ValidationShards
+	pool := e.evalPool
 	return func(member int, model tensor.Vector) float64 {
-		m := nn.New(rng.New(1), sizes...)
-		m.SetParams(model)
-		return nn.Accuracy(m, shards[member%len(shards)])
+		s := pool.Get()
+		defer pool.Put(s)
+		s.Model.SetParams(model)
+		return nn.AccuracyWS(s.Model, s.WS, shards[member%len(shards)])
 	}
 }
 
@@ -346,7 +353,7 @@ func (e *engine) evaluate(round int, now simnet.Time, global tensor.Vector) {
 		return
 	}
 	e.evalModel.SetParams(global)
-	acc := nn.Accuracy(e.evalModel, e.cfg.TestData)
+	acc := nn.AccuracyWorkers(e.evalModel, e.cfg.TestData, e.workers)
 	e.result.Curve = append(e.result.Curve, RoundAccuracy{Round: round + 1, Time: now, Accuracy: acc})
 }
 
@@ -369,15 +376,18 @@ func Run(cfg Config) (*Result, error) {
 	tree := cfg.Tree
 	sim := simnet.New(cfg.Latency, root.Derive("net"))
 	sim.Bandwidth = cfg.Bandwidth
+	sizes := cfg.modelSizes()
 	e := &engine{
 		cfg:       cfg,
 		tree:      tree,
 		sim:       sim,
 		root:      root,
-		sizes:     cfg.modelSizes(),
+		sizes:     sizes,
 		result:    &Result{},
 		alpha:     cfg.Alpha,
-		evalModel: nn.New(root.Derive("eval"), cfg.modelSizes()...),
+		evalModel: nn.NewShaped(sizes...),
+		evalPool:  nn.NewEvalPool(sizes...),
+		workers:   cfg.Workers,
 	}
 	quorum := cfg.Quorum
 	if quorum == 0 {
@@ -428,7 +438,8 @@ func Run(cfg Config) (*Result, error) {
 	init := nn.New(root.Derive("init"), e.sizes...).Params()
 	devActors := make([]*deviceActor, devices)
 	for id := 0; id < devices; id++ {
-		devActors[id] = &deviceActor{e: e, id: id, curRound: -1, model: nn.New(rng.New(1), e.sizes...)}
+		m := nn.NewShaped(e.sizes...)
+		devActors[id] = &deviceActor{e: e, id: id, curRound: -1, model: m, ws: nn.NewWorkspace(m)}
 		if !cfg.Crashed[id] {
 			// Crashed devices stay unregistered: the simulator drops their
 			// traffic, exactly like a crash-stop node.

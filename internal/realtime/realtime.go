@@ -194,7 +194,8 @@ func Run(cfg Config) (*Result, error) {
 		goroutines++
 		go func() {
 			defer wg.Done()
-			model := nn.New(rng.New(1), sizes...)
+			model := nn.NewShaped(sizes...)
+			ws := nn.NewWorkspace(model)
 			cur := initParams.Clone()
 			round := 0
 			var stashedFlag *envelope
@@ -206,7 +207,7 @@ func Run(cfg Config) (*Result, error) {
 			for round < cfg.Rounds {
 				// Train the current round.
 				model.SetParams(cur)
-				nn.SGD(model, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
+				nn.SGDWS(model, ws, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
 				if cfg.TrainDelay > 0 {
 					time.Sleep(cfg.TrainDelay)
 				}
@@ -353,11 +354,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// --- Top goroutine.
-	evalModel := nn.New(root.Derive("eval"), sizes...)
+	evalModel := nn.NewShaped(sizes...)
+	evalWS := nn.NewWorkspace(evalModel)
+	pool := nn.NewEvalPool(sizes...)
 	validator := func(member int, model tensor.Vector) float64 {
-		m := nn.New(rng.New(1), sizes...)
-		m.SetParams(model)
-		return nn.Accuracy(m, cfg.ValidationShards[member%len(cfg.ValidationShards)])
+		s := pool.Get()
+		defer pool.Put(s)
+		s.Model.SetParams(model)
+		return nn.AccuracyWS(s.Model, s.WS, cfg.ValidationShards[member%len(cfg.ValidationShards)])
 	}
 	var topChildren []chan envelope
 	for _, ch := range tree.ChildClusters(0, 0) {
@@ -400,7 +404,7 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			evalModel.SetParams(global)
-			result.RoundAccuracy[env.round] = nn.Accuracy(evalModel, cfg.TestData)
+			result.RoundAccuracy[env.round] = nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
 			completed++
 			gm := envelope{kind: kGlobal, round: env.round, params: global}
 			for _, ch := range topChildren {

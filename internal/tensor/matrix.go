@@ -84,12 +84,28 @@ func parallelRows(rows, workPerRow int, fn func(i int)) {
 }
 
 // MatVec stores m*x into dst and returns dst. dst must not alias x.
+//
+// The small-shape path is written inline rather than through parallelRows: a
+// closure handed to parallelRows escapes (it may be captured by goroutines)
+// and would cost one heap allocation per call, which defeats the
+// allocation-free workspace contract of internal/nn.
 func MatVec(dst Vector, m *Matrix, x Vector) Vector {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch: %dx%d by %d", m.Rows, m.Cols, len(x)))
 	}
 	if len(dst) != m.Rows {
 		panic("tensor: MatVec dst length mismatch")
+	}
+	if m.Rows*m.Cols < parallelThreshold {
+		for i := 0; i < m.Rows; i++ {
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			s := 0.0
+			for j, r := range row {
+				s += r * x[j]
+			}
+			dst[i] = s
+		}
+		return dst
 	}
 	parallelRows(m.Rows, m.Cols, func(i int) {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
@@ -131,6 +147,19 @@ func MatTVec(dst Vector, m *Matrix, x Vector) Vector {
 func AddOuter(m *Matrix, s float64, x, y Vector) {
 	if len(x) != m.Rows || len(y) != m.Cols {
 		panic("tensor: AddOuter shape mismatch")
+	}
+	if m.Rows*m.Cols < parallelThreshold {
+		for i := 0; i < m.Rows; i++ {
+			sx := s * x[i]
+			if sx == 0 {
+				continue
+			}
+			row := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, yj := range y {
+				row[j] += sx * yj
+			}
+		}
+		return
 	}
 	parallelRows(m.Rows, m.Cols, func(i int) {
 		sx := s * x[i]
