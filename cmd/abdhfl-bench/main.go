@@ -3,8 +3,9 @@
 // regressions can be tracked run-over-run (the repository keeps the numbers
 // for each optimisation PR in BENCH_<n>.json at the repo root).
 //
-//	abdhfl-bench                         # Table5Cell + Fig3Convergence to stdout
+//	abdhfl-bench                         # Table5 cells + Fig3 + per-rule kernels
 //	abdhfl-bench -bench '.' -count 3     # everything, three samples each
+//	abdhfl-bench -pkg ./internal/aggregate -bench AggregateRules
 //	abdhfl-bench -o BENCH_1.json         # write to a file
 package main
 
@@ -23,6 +24,7 @@ import (
 // Result is one benchmark line of `go test -bench -benchmem` output.
 type Result struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
@@ -41,33 +43,39 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Table5Cell|Fig3Convergence", "go test -bench regexp")
+	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules", "go test -bench regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".", "package to benchmark")
+	pkg := flag.String("pkg", ".,./internal/aggregate", "comma-separated packages to benchmark")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	pkgs := strings.Split(*pkg, ",")
 	args := []string{
 		"test", "-run", "^$",
 		"-bench", *bench,
 		"-benchtime", *benchtime,
 		"-benchmem",
 		"-count", strconv.Itoa(*count),
-		*pkg,
 	}
-	cmd := exec.Command("go", args...)
-	cmd.Stderr = os.Stderr
-	raw, err := cmd.Output()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "abdhfl-bench: go %s: %v\n", strings.Join(args, " "), err)
-		os.Exit(1)
+	var report Report
+	for _, p := range pkgs {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		cmd := exec.Command("go", append(args, p)...)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abdhfl-bench: go %s %s: %v\n", strings.Join(args, " "), p, err)
+			os.Exit(1)
+		}
+		merge(&report, parse(raw))
 	}
-
-	report := parse(raw)
-	report.Args = args
+	report.Args = append(args, pkgs...)
 	if len(report.Results) == 0 {
-		fmt.Fprintf(os.Stderr, "abdhfl-bench: no benchmark lines in output:\n%s", raw)
+		fmt.Fprintln(os.Stderr, "abdhfl-bench: no benchmark lines matched")
 		os.Exit(1)
 	}
 
@@ -86,6 +94,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %d results to %s\n", len(report.Results), *out)
+}
+
+// merge folds one package's parsed report into the combined one. Environment
+// headers are identical across packages, so the first non-empty value wins;
+// the top-level Pkg field accumulates every benchmarked package.
+func merge(dst *Report, src Report) {
+	if dst.Goos == "" {
+		dst.Goos = src.Goos
+	}
+	if dst.Goarch == "" {
+		dst.Goarch = src.Goarch
+	}
+	if dst.CPU == "" {
+		dst.CPU = src.CPU
+	}
+	if src.Pkg != "" {
+		if dst.Pkg == "" {
+			dst.Pkg = src.Pkg
+		} else {
+			dst.Pkg += "," + src.Pkg
+		}
+	}
+	for _, r := range src.Results {
+		r.Pkg = src.Pkg
+		dst.Results = append(dst.Results, r)
+	}
 }
 
 // parse extracts environment headers and Benchmark… result lines from go test

@@ -5,6 +5,11 @@
 // cosine-similarity clustering. All rules consume flat parameter vectors (see
 // nn.Model.Params) and implement a single Aggregator interface so any level
 // of the ABD-HFL tree can be configured with any rule.
+//
+// Every rule offers two entry points: AggregateInto, the allocation-free
+// steady-state form that writes into a caller-owned destination and reuses a
+// Scratch across rounds, and Aggregate, a convenience shim that allocates
+// both. Either way the result is bit-identical for every worker count.
 package aggregate
 
 import (
@@ -27,6 +32,12 @@ type Aggregator interface {
 	// because in the asynchronous protocol a malformed quorum is an expected
 	// runtime condition, not a programming error.
 	Aggregate(updates []tensor.Vector) (tensor.Vector, error)
+	// AggregateInto writes the combined vector into dst, reusing scratch's
+	// buffers so the steady state allocates nothing. dst must have the
+	// updates' dimension and must not alias any update; scratch may be nil
+	// (one-shot buffers are then allocated). On error dst's contents are
+	// unspecified.
+	AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error
 }
 
 func checkUpdates(updates []tensor.Vector) error {
@@ -45,6 +56,19 @@ func checkUpdates(updates []tensor.Vector) error {
 	return nil
 }
 
+// aggregateVia implements the legacy allocate-and-return form on top of a
+// rule's AggregateInto.
+func aggregateVia(a Aggregator, updates []tensor.Vector) (tensor.Vector, error) {
+	if len(updates) == 0 {
+		return nil, ErrNoUpdates
+	}
+	dst := tensor.NewVector(len(updates[0]))
+	if err := a.AggregateInto(dst, nil, updates); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
 // Mean is plain federated averaging (FedAvg). It has no Byzantine tolerance:
 // a single malicious update can move the aggregate arbitrarily, which is the
 // baseline the robust rules are compared against.
@@ -54,11 +78,18 @@ type Mean struct{}
 func (Mean) Name() string { return "mean" }
 
 // Aggregate implements Aggregator.
-func (Mean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+func (a Mean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (Mean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
-	return tensor.Mean(tensor.NewVector(len(updates[0])), updates), nil
+	s := scratch.resolve()
+	tensor.MeanWS(dst, updates, s.Workers)
+	return nil
 }
 
 // Median is the coordinate-wise median rule of Yin et al. (2018).
@@ -68,11 +99,18 @@ type Median struct{}
 func (Median) Name() string { return "median" }
 
 // Aggregate implements Aggregator.
-func (Median) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+func (a Median) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (Median) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
-	return tensor.CoordinateMedian(tensor.NewVector(len(updates[0])), updates), nil
+	s := scratch.resolve()
+	tensor.CoordinateMedianWS(dst, updates, s.columns(len(updates)), s.Workers)
+	return nil
 }
 
 // TrimmedMean is the coordinate-wise trimmed mean of Yin et al. (2018),
@@ -88,8 +126,13 @@ func (a TrimmedMean) Name() string { return fmt.Sprintf("trimmed-mean(%.2f)", a.
 
 // Aggregate implements Aggregator.
 func (a TrimmedMean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (a TrimmedMean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	n := len(updates)
 	trim := int(a.TrimFraction * float64(n))
@@ -97,9 +140,11 @@ func (a TrimmedMean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 		trim = 1
 	}
 	if 2*trim >= n {
-		return nil, fmt.Errorf("aggregate: trimmed mean would remove all %d updates (trim %d per side)", n, trim)
+		return fmt.Errorf("aggregate: trimmed mean would remove all %d updates (trim %d per side)", n, trim)
 	}
-	return tensor.CoordinateTrimmedMean(tensor.NewVector(len(updates[0])), updates, trim), nil
+	s := scratch.resolve()
+	tensor.CoordinateTrimmedMeanWS(dst, updates, trim, s.columns(n), s.Workers)
+	return nil
 }
 
 // GeoMed aggregates by the geometric median (Chen et al. 2017), computed via
@@ -116,8 +161,13 @@ func (GeoMed) Name() string { return "geomed" }
 
 // Aggregate implements Aggregator.
 func (a GeoMed) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (a GeoMed) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	tol := a.Tol
 	if tol == 0 {
@@ -127,5 +177,9 @@ func (a GeoMed) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 	if maxIter == 0 {
 		maxIter = 200
 	}
-	return tensor.GeometricMedian(tensor.NewVector(len(updates[0])), updates, tol, maxIter), nil
+	s := scratch.resolve()
+	next := s.vector(len(updates[0]))
+	dists := growFloats(&s.norms, len(updates))
+	tensor.GeometricMedianWS(dst, updates, tol, maxIter, next, dists, s.Workers)
+	return nil
 }

@@ -1,0 +1,75 @@
+package aggregate
+
+import (
+	"testing"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// The Scratch contract, mirroring internal/nn/alloc_test.go: with a warm
+// Scratch every rule's steady-state AggregateInto performs zero allocations.
+// These are regression tests — the seed implementation allocated one column
+// copy per coordinate (hundreds of thousands of allocs per simulated run for
+// the median family), so any reappearing allocation here is a performance
+// bug.
+
+// allocPopulation stays below tensor's parallel threshold so the kernels take
+// their serial inline paths — the allocation-free contract covers exactly
+// that steady state (parallel fan-out pays goroutine overhead by design).
+func allocPopulation() []tensor.Vector {
+	r := rng.New(1)
+	honest := honestPopulation(r, 9, 300, center(300, 1), 0.1)
+	byz := honestPopulation(r, 3, 300, center(300, -30), 0.2)
+	return append(honest, byz...)
+}
+
+func TestAggregateIntoAllocationFree(t *testing.T) {
+	updates := allocPopulation()
+	dim := len(updates[0])
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewScratch(1)
+			dst := tensor.NewVector(dim)
+			if err := rule.AggregateInto(dst, s, updates); err != nil { // warm up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := rule.AggregateInto(dst, s, updates); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("%s AggregateInto allocates %.1f objects/op with a warm Scratch, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestAggregateShimMatchesInto pins the shim contract: the legacy Aggregate
+// returns bit-identical output to AggregateInto with any scratch.
+func TestAggregateShimMatchesInto(t *testing.T) {
+	updates := allocPopulation()
+	dim := len(updates[0])
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := rule.Aggregate(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := tensor.NewVector(dim)
+		if err := rule.AggregateInto(dst, NewScratch(1), updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(legacy, dst) {
+			t.Errorf("%s: Aggregate and AggregateInto outputs differ", name)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package aggregate
 
 import (
 	"fmt"
-	"sort"
 
 	"abdhfl/internal/tensor"
 )
@@ -25,8 +24,13 @@ func (Bulyan) Name() string { return "bulyan" }
 
 // Aggregate implements Aggregator.
 func (a Bulyan) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (a Bulyan) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	n := len(updates)
 	f := a.F
@@ -34,71 +38,63 @@ func (a Bulyan) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 		f = ff
 	}
 	if f < 0 {
-		return nil, fmt.Errorf("aggregate: bulyan with negative f")
+		return fmt.Errorf("aggregate: bulyan with negative f")
 	}
 	if n == 1 {
-		return updates[0].Clone(), nil
+		copy(dst, updates[0])
+		return nil
 	}
+	s := scratch.resolve()
 	// Stage 1: iterated Krum selection of n-2f updates. With small quorums
 	// clamp the selection count to at least 1 so tiny clusters stay
-	// servable (mirroring the Krum fallback).
+	// servable (mirroring the Krum fallback). The full pairwise matrix is
+	// computed once; each elimination round re-scores the surviving subset
+	// by gathering its rows, instead of recomputing distances.
 	selCount := n - 2*f
 	if selCount < 1 {
 		selCount = 1
 	}
-	remaining := make([]tensor.Vector, n)
-	copy(remaining, updates)
-	var selected []tensor.Vector
-	for len(selected) < selCount {
-		k := len(remaining) - f - 2
+	dists := growFloats(&s.dists, n*n)
+	sqn := growFloats(&s.sqn, n)
+	tensor.PairwiseSquaredDistancesWS(dists, sqn, updates, s.Workers)
+	row := growFloats(&s.row, n)
+	alive := growInts(&s.idx, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	selIdx := growInts(&s.order, n)[:0]
+	for len(selIdx) < selCount {
+		if len(alive) == 1 {
+			selIdx = append(selIdx, alive[0])
+			break
+		}
+		k := len(alive) - f - 2
 		if k < 1 {
 			k = 1
 		}
-		if len(remaining) == 1 {
-			selected = append(selected, remaining[0])
-			break
-		}
-		scores := krumScores(remaining, k)
 		best := 0
-		for i := range scores {
-			if scores[i] < scores[best] {
-				best = i
+		bestScore := 0.0
+		for ai := range alive {
+			sc := krumScoreAt(dists, n, alive, ai, k, row)
+			if ai == 0 || sc < bestScore {
+				best, bestScore = ai, sc
 			}
 		}
-		selected = append(selected, remaining[best])
-		remaining = append(remaining[:best], remaining[best+1:]...)
+		selIdx = append(selIdx, alive[best])
+		alive = append(alive[:best], alive[best+1:]...)
 	}
 	// Stage 2: per coordinate, average the beta values closest to the
 	// median of the selected set.
-	beta := len(selected) - 2*f
+	beta := len(selIdx) - 2*f
 	if beta < 1 {
 		beta = 1
 	}
-	dim := len(updates[0])
-	out := tensor.NewVector(dim)
-	col := make([]float64, len(selected))
-	for j := 0; j < dim; j++ {
-		for i, v := range selected {
-			col[i] = v[j]
-		}
-		med := tensor.Median(col)
-		sort.Slice(col, func(x, y int) bool {
-			dx, dy := col[x]-med, col[y]-med
-			if dx < 0 {
-				dx = -dx
-			}
-			if dy < 0 {
-				dy = -dy
-			}
-			return dx < dy
-		})
-		s := 0.0
-		for _, v := range col[:beta] {
-			s += v
-		}
-		out[j] = s / float64(beta)
+	chosen := growVecs(&s.chosen, len(selIdx))
+	for i, idx := range selIdx {
+		chosen[i] = updates[idx]
 	}
-	return out, nil
+	tensor.CoordinateNearMedianMeanWS(dst, chosen, beta, s.columns(len(chosen)), s.Workers)
+	return nil
 }
 
 func init() {

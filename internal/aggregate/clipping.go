@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"abdhfl/internal/tensor"
@@ -24,39 +25,49 @@ func (CenteredClipping) Name() string { return "centered-clipping" }
 
 // Aggregate implements Aggregator.
 func (a CenteredClipping) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator. The per-update distances and clip
+// scales live in scratch (the naive formulation reallocated the distance
+// slice on every clipping iteration), and the clip-and-average pass is the
+// fused CenteredStepWS kernel.
+func (a CenteredClipping) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	iters := a.Iterations
 	if iters == 0 {
 		iters = 3
 	}
-	dim := len(updates[0])
+	s := scratch.resolve()
+	n := len(updates)
 	// Robust start: coordinate median.
-	v := tensor.CoordinateMedian(tensor.NewVector(dim), updates)
-	diff := tensor.NewVector(dim)
-	step := tensor.NewVector(dim)
+	tensor.CoordinateMedianWS(dst, updates, s.columns(n), s.Workers)
+	norms := growFloats(&s.norms, n)
+	tmp := growFloats(&s.tmp, n)
+	scales := growFloats(&s.scales, n)
 	for it := 0; it < iters; it++ {
+		tensor.DistancesWS(norms, dst, updates, s.Workers)
 		tau := a.Tau
 		if tau == 0 {
-			dists := make([]float64, len(updates))
-			for i, u := range updates {
-				dists[i] = tensor.Distance(v, u)
-			}
-			tau = tensor.Median(dists)
+			copy(tmp, norms)
+			tau = tensor.MedianInPlace(tmp)
 			if tau == 0 {
 				break // all updates coincide with the reference
 			}
 		}
-		tensor.Fill(step, 0)
-		for _, u := range updates {
-			tensor.Sub(diff, u, v)
-			tensor.Clip(diff, tau)
-			tensor.Axpy(step, 1/float64(len(updates)), diff)
+		// scales[i] reproduces tensor.Clip's condition and scalar exactly.
+		for i, nm := range norms {
+			if nm > tau && nm > 0 {
+				scales[i] = tau / nm
+			} else {
+				scales[i] = 1
+			}
 		}
-		tensor.Add(v, v, step)
+		tensor.CenteredStepWS(dst, updates, scales, s.Workers)
 	}
-	return v, nil
+	return nil
 }
 
 // CosineClustering follows the clustered-FL defence of Sattler et al.
@@ -76,58 +87,74 @@ func (CosineClustering) Name() string { return "cosine-clustering" }
 
 // Aggregate implements Aggregator.
 func (a CosineClustering) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
-	if err := checkUpdates(updates); err != nil {
-		return nil, err
-	}
-	n := len(updates)
-	labels := a.clusterLabels(updates)
-	// Find the largest cluster; break ties towards the cluster whose members
-	// have the smaller mean norm (attacks typically inflate norms).
-	counts := map[int]int{}
-	for _, l := range labels {
-		counts[l]++
-	}
-	type cand struct {
-		label, count int
-		meanNorm     float64
-	}
-	var cands []cand
-	for l, c := range counts {
-		norm := 0.0
-		for i := 0; i < n; i++ {
-			if labels[i] == l {
-				norm += tensor.Norm2(updates[i])
-			}
-		}
-		cands = append(cands, cand{l, c, norm / float64(c)})
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].count != cands[j].count {
-			return cands[i].count > cands[j].count
-		}
-		return cands[i].meanNorm < cands[j].meanNorm
-	})
-	best := cands[0].label
-	var members []tensor.Vector
-	for i := 0; i < n; i++ {
-		if labels[i] == best {
-			members = append(members, updates[i])
-		}
-	}
-	return tensor.Mean(tensor.NewVector(len(updates[0])), members), nil
+	return aggregateVia(a, updates)
 }
 
-// clusterLabels performs single-linkage clustering: i and j share a label
-// when a chain of pairs with cosine similarity above the threshold connects
-// them (union-find over the similarity graph).
-func (a CosineClustering) clusterLabels(updates []tensor.Vector) []int {
+// AggregateInto implements Aggregator.
+func (a CosineClustering) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
+	if err := checkUpdates(updates); err != nil {
+		return err
+	}
+	s := scratch.resolve()
 	n := len(updates)
-	parent := make([]int, n)
+	labels := a.labelsInto(s, updates)
+	// Find the largest cluster; break ties towards the cluster whose members
+	// have the smaller mean norm (attacks typically inflate norms), then the
+	// smaller label. Labels are union-find roots in [0, n), so plain arrays
+	// replace the map-and-sort of the naive formulation — and make the final
+	// tie-break deterministic rather than map-iteration-order dependent.
+	counts := growInts(&s.counts, n)
+	normSums := growFloats(&s.scales, n)
+	for i := range counts {
+		counts[i] = 0
+		normSums[i] = 0
+	}
+	for i, l := range labels {
+		counts[l]++
+		// s.norms was filled with the update norms by labelsInto.
+		normSums[l] += s.norms[i]
+	}
+	best := -1
+	bestMean := 0.0
+	for l := 0; l < n; l++ {
+		if counts[l] == 0 {
+			continue
+		}
+		mean := normSums[l] / float64(counts[l])
+		if best == -1 || counts[l] > counts[best] || (counts[l] == counts[best] && mean < bestMean) {
+			best, bestMean = l, mean
+		}
+	}
+	chosen := growVecs(&s.chosen, counts[best])
+	m := 0
+	for i := 0; i < n; i++ {
+		if labels[i] == best {
+			chosen[m] = updates[i]
+			m++
+		}
+	}
+	tensor.MeanWS(dst, chosen, s.Workers)
+	return nil
+}
+
+// labelsInto performs single-linkage clustering into s.labels: i and j share
+// a label when a chain of pairs with cosine similarity above the threshold
+// connects them (union-find with path halving over the similarity graph).
+// The pairwise Gram matrix is computed once — its diagonal yields the update
+// norms, left in s.norms for the caller.
+func (a CosineClustering) labelsInto(s *Scratch, updates []tensor.Vector) []int {
+	n := len(updates)
+	dots := growFloats(&s.dists, n*n)
+	tensor.PairwiseDotsWS(dots, updates, s.Workers)
+	norms := growFloats(&s.norms, n)
+	for i := range norms {
+		norms[i] = math.Sqrt(dots[i*n+i])
+	}
+	parent := growInts(&s.parent, n)
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
+	find := func(x int) int {
 		for parent[x] != x {
 			parent[x] = parent[parent[x]]
 			x = parent[x]
@@ -136,7 +163,11 @@ func (a CosineClustering) clusterLabels(updates []tensor.Vector) []int {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if tensor.CosineSimilarity(updates[i], updates[j]) >= a.MinSimilarity {
+			sim := 0.0
+			if norms[i] != 0 && norms[j] != 0 {
+				sim = dots[i*n+j] / (norms[i] * norms[j])
+			}
+			if sim >= a.MinSimilarity {
 				ri, rj := find(i), find(j)
 				if ri != rj {
 					parent[ri] = rj
@@ -144,7 +175,7 @@ func (a CosineClustering) clusterLabels(updates []tensor.Vector) []int {
 			}
 		}
 	}
-	labels := make([]int, n)
+	labels := growInts(&s.labels, n)
 	for i := range labels {
 		labels[i] = find(i)
 	}
@@ -157,7 +188,7 @@ func (a CosineClustering) Clusters(updates []tensor.Vector) ([][]int, error) {
 	if err := checkUpdates(updates); err != nil {
 		return nil, err
 	}
-	labels := a.clusterLabels(updates)
+	labels := a.labelsInto(&Scratch{Workers: 1}, updates)
 	groups := map[int][]int{}
 	for i, l := range labels {
 		groups[l] = append(groups[l], i)

@@ -2,7 +2,7 @@ package aggregate
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"abdhfl/internal/tensor"
 )
@@ -74,65 +74,100 @@ func (a Krum) thresholds(n int) (f, k, m int, err error) {
 
 // Aggregate implements Aggregator.
 func (a Krum) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator.
+func (a Krum) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	n := len(updates)
 	_, k, m, err := a.thresholds(n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if n == 1 {
-		return updates[0].Clone(), nil
+		copy(dst, updates[0])
+		return nil
 	}
-	order := krumOrder(updates, k)
+	s := scratch.resolve()
+	order := krumOrderWS(s, updates, k)
 	if m == 1 {
-		return updates[order[0]].Clone(), nil
+		copy(dst, updates[order[0]])
+		return nil
 	}
-	chosen := make([]tensor.Vector, m)
+	chosen := growVecs(&s.chosen, m)
 	for i := 0; i < m; i++ {
 		chosen[i] = updates[order[i]]
 	}
-	return tensor.Mean(tensor.NewVector(len(updates[0])), chosen), nil
+	tensor.MeanWS(dst, chosen, s.Workers)
+	return nil
 }
 
-// krumOrder returns the update indices sorted by ascending Krum score.
-func krumOrder(updates []tensor.Vector, k int) []int {
-	scores := krumScores(updates, k)
-	order := make([]int, len(updates))
-	for i := range order {
-		order[i] = i
+// krumOrderWS fills s.order with the update indices sorted by ascending Krum
+// score (ties by index) and returns it.
+func krumOrderWS(s *Scratch, updates []tensor.Vector, k int) []int {
+	n := len(updates)
+	dists := growFloats(&s.dists, n*n)
+	sqn := growFloats(&s.sqn, n)
+	tensor.PairwiseSquaredDistancesWS(dists, sqn, updates, s.Workers)
+	scores := growFloats(&s.scores, n)
+	row := growFloats(&s.row, n)
+	alive := growInts(&s.idx, n)
+	for i := range alive {
+		alive[i] = i
 	}
-	sort.Slice(order, func(x, y int) bool { return scores[order[x]] < scores[order[y]] })
+	for i := 0; i < n; i++ {
+		scores[i] = krumScoreAt(dists, n, alive, i, k, row)
+	}
+	order := growInts(&s.order, n)
+	scoreOrder(order, scores)
 	return order
 }
 
-// krumScores returns, for each update, the sum of its k smallest squared
-// distances to the other updates.
-func krumScores(updates []tensor.Vector, k int) []float64 {
-	n := len(updates)
-	d := tensor.PairwiseSquaredDistances(updates)
-	scores := make([]float64, n)
-	row := make([]float64, 0, n-1)
-	for i := 0; i < n; i++ {
-		row = row[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				row = append(row, d[i][j])
-			}
+// krumScoreAt computes the Krum score of alive[ai]: the sum of its k smallest
+// squared distances to the other alive updates, summed in ascending order
+// (selection finds the k smallest, a final small sort fixes their order so
+// the sum matches the fully-sorted formulation bit for bit).
+func krumScoreAt(dists []float64, n int, alive []int, ai, k int, row []float64) float64 {
+	r := row[:0]
+	i := alive[ai]
+	for aj, j := range alive {
+		if aj != ai {
+			r = append(r, dists[i*n+j])
 		}
-		sort.Float64s(row)
-		kk := k
-		if kk > len(row) {
-			kk = len(row)
-		}
-		s := 0.0
-		for _, v := range row[:kk] {
-			s += v
-		}
-		scores[i] = s
 	}
-	return scores
+	if k > len(r) {
+		k = len(r)
+	}
+	if k < len(r) {
+		tensor.SelectKth(r, k-1)
+	}
+	smallest := r[:k]
+	slices.Sort(smallest)
+	s := 0.0
+	for _, v := range smallest {
+		s += v
+	}
+	return s
+}
+
+// scoreOrder fills order with 0..n-1 sorted by ascending scores, ties by
+// index (stable insertion sort — no closure, no allocation).
+func scoreOrder(order []int, scores []float64) {
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		o := order[i]
+		j := i - 1
+		for j >= 0 && scores[order[j]] > scores[o] {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = o
+	}
 }
 
 // Selected returns the indices MultiKrum would average for the given update
@@ -145,5 +180,12 @@ func (a Krum) Selected(updates []tensor.Vector) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	return krumOrder(updates, k)[:m], nil
+	if len(updates) == 1 {
+		return []int{0}, nil
+	}
+	s := &Scratch{Workers: 1}
+	order := krumOrderWS(s, updates, k)
+	out := make([]int, m)
+	copy(out, order[:m])
+	return out, nil
 }

@@ -20,27 +20,39 @@ func (NormBound) Name() string { return "norm-bound" }
 
 // Aggregate implements Aggregator.
 func (a NormBound) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
+	return aggregateVia(a, updates)
+}
+
+// AggregateInto implements Aggregator. Clipping and averaging fuse into one
+// ScaledMeanWS pass: per-update clip factors replace the clone-then-clip of
+// the naive formulation (an unclipped update gets scale 1, contributing
+// exactly itself).
+func (a NormBound) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
-		return nil, err
+		return err
 	}
 	factor := a.Factor
 	if factor == 0 {
 		factor = 1
 	}
-	norms := make([]float64, len(updates))
-	for i, u := range updates {
-		norms[i] = tensor.Norm2(u)
-	}
-	radius := factor * tensor.Median(norms)
-	clipped := make([]tensor.Vector, len(updates))
-	for i, u := range updates {
-		c := u.Clone()
-		if radius > 0 {
-			tensor.Clip(c, radius)
+	s := scratch.resolve()
+	n := len(updates)
+	norms := growFloats(&s.norms, n)
+	tensor.NormsWS(norms, updates, s.Workers)
+	tmp := growFloats(&s.tmp, n)
+	copy(tmp, norms)
+	radius := factor * tensor.MedianInPlace(tmp)
+	scales := growFloats(&s.scales, n)
+	for i, nm := range norms {
+		// Reproduces tensor.Clip's condition and scalar exactly.
+		if radius > 0 && nm > radius {
+			scales[i] = radius / nm
+		} else {
+			scales[i] = 1
 		}
-		clipped[i] = c
 	}
-	return tensor.Mean(tensor.NewVector(len(updates[0])), clipped), nil
+	tensor.ScaledMeanWS(dst, updates, scales, s.Workers)
+	return nil
 }
 
 func init() {

@@ -1,0 +1,119 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// Worker-count determinism, mirroring internal/consensus/parallel_test.go:
+// every aggregation rule must produce bit-identical output for every Workers
+// value. The update sets are sized past tensor's parallel threshold
+// (n*dim >= 1<<16) so the fan-out paths genuinely engage.
+
+func bitsEqual(a, b tensor.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func parallelPopulation(seed uint64, n, dim int) []tensor.Vector {
+	r := rng.New(seed)
+	honest := honestPopulation(r, n*3/4, dim, center(dim, 1), 0.1)
+	byz := honestPopulation(r, n-len(honest), dim, center(dim, -20), 0.5)
+	return append(honest, byz...)
+}
+
+func TestAggregateWorkerCountInvariance(t *testing.T) {
+	const n, dim = 16, 6000
+	updates := parallelPopulation(7, n, dim)
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := tensor.NewVector(dim)
+			if err := rule.AggregateInto(ref, NewScratch(1), updates); err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				got := tensor.NewVector(dim)
+				if err := rule.AggregateInto(got, NewScratch(workers), updates); err != nil {
+					t.Fatal(err)
+				}
+				if !bitsEqual(got, ref) {
+					t.Errorf("workers=%d output differs from serial", workers)
+				}
+			}
+			// Scratch reuse across rounds must not change results either.
+			s := NewScratch(8)
+			for round := 0; round < 3; round++ {
+				got := tensor.NewVector(dim)
+				if err := rule.AggregateInto(got, s, updates); err != nil {
+					t.Fatal(err)
+				}
+				if !bitsEqual(got, ref) {
+					t.Errorf("round %d with reused scratch differs from serial", round)
+				}
+			}
+		})
+	}
+}
+
+// TestAggregateIntoMatchesLegacySemantics anchors the selection-based
+// kernels to independent sort-based reference implementations for the rules
+// whose outputs are pure coordinate statistics.
+func TestAggregateIntoMatchesLegacySemantics(t *testing.T) {
+	const n, dim = 13, 2000
+	updates := parallelPopulation(11, n, dim)
+
+	t.Run("median", func(t *testing.T) {
+		want := tensor.CoordinateMedian(tensor.NewVector(dim), updates)
+		got := tensor.NewVector(dim)
+		if err := (Median{}).AggregateInto(got, NewScratch(4), updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Error("median differs from sort-based CoordinateMedian")
+		}
+	})
+	t.Run("trimmed-mean", func(t *testing.T) {
+		want := tensor.CoordinateTrimmedMean(tensor.NewVector(dim), updates, 3)
+		got := tensor.NewVector(dim)
+		if err := (TrimmedMean{TrimFraction: float64(3) / n}).AggregateInto(got, NewScratch(4), updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Error("trimmed mean differs from sort-based CoordinateTrimmedMean")
+		}
+	})
+	t.Run("geomed", func(t *testing.T) {
+		want := tensor.GeometricMedian(tensor.NewVector(dim), updates, 1e-8, 200)
+		got := tensor.NewVector(dim)
+		if err := (GeoMed{}).AggregateInto(got, NewScratch(4), updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Error("geomed differs from serial GeometricMedian")
+		}
+	})
+	t.Run("mean", func(t *testing.T) {
+		want := tensor.Mean(tensor.NewVector(dim), updates)
+		got := tensor.NewVector(dim)
+		if err := (Mean{}).AggregateInto(got, NewScratch(4), updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(got, want) {
+			t.Error("mean differs from serial Mean")
+		}
+	})
+}

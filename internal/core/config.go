@@ -93,11 +93,14 @@ type Config struct {
 	// OnRound, if non-nil, receives every evaluated RoundStat as the run
 	// progresses — streaming progress for long experiments.
 	OnRound func(RoundStat)
-	// Workers bounds the worker pools of the run's three parallel hot paths:
-	// local training, consensus validator scoring, and test-set evaluation.
-	// Zero selects GOMAXPROCS. Results are bit-identical for every value —
-	// per-device/per-member work derives its own RNG stream and reductions
-	// run in a fixed order.
+	// Workers bounds the worker pools of the run's parallel hot paths:
+	// local training, consensus validator scoring, test-set evaluation, and
+	// the robust-aggregation kernels (coordinate statistics and pairwise
+	// distances fan out over fixed-size chunks). Zero selects GOMAXPROCS.
+	// Results are bit-identical for every value — per-device/per-member work
+	// derives its own RNG stream, reductions run in a fixed order, and the
+	// aggregation kernels partition work identically regardless of worker
+	// count.
 	Workers int
 	// Quorum is the paper's φ: the fraction of a cluster's models a leader
 	// waits for before aggregating. The synchronous round engine uses it to

@@ -114,26 +114,38 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	evalModel := nn.NewShaped(sizes...)
 	evalWS := nn.NewWorkspace(evalModel)
 	trainer := newLocalTrainer(sizes, workers, devices)
+	// Aggregation memory persists across rounds: one warm scratch for the
+	// rule's buffers, a reusable peer-group slice, and double-buffered
+	// per-device model storage (round r writes bufs[r%2] while bufs[(r-1)%2]
+	// still holds the params the trainer just read).
+	aggScratch := aggregate.NewScratch(workers)
+	group := make([]tensor.Vector, 0, fanout+1)
+	dim := len(initParams)
+	var aggBufs [2][]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
 		// Local training: each device trains its own current model.
 		trainLocalFrom(trainer, hcfg, params, trained, roundRNG)
 		// Gossip exchange: each device aggregates its model with fanout
 		// random peers' trained models.
-		next := make([]tensor.Vector, devices)
+		if aggBufs[round%2] == nil {
+			aggBufs[round%2] = make([]tensor.Vector, devices)
+		}
+		next := aggBufs[round%2]
 		for id := 0; id < devices; id++ {
 			r := roundRNG.Derive(fmt.Sprintf("peers-%d", id))
-			group := []tensor.Vector{trained[id]}
+			group = append(group[:0], trained[id])
 			for _, p := range r.Choice(devices, fanout+1) {
 				if p != id && len(group) <= fanout {
 					group = append(group, trained[p])
 				}
 			}
-			agg, err := cfg.Aggregator.Aggregate(group)
-			if err != nil {
+			if next[id] == nil {
+				next[id] = tensor.NewVector(dim)
+			}
+			if err := cfg.Aggregator.AggregateInto(next[id], aggScratch, group); err != nil {
 				return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
 			}
-			next[id] = agg
 			res.Comm.ModelTransfers += len(group) - 1
 		}
 		params = next
@@ -157,8 +169,8 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 
 // trainLocalFrom is localTrainer.round with per-device start parameters
 // (gossip has no shared global model). out buffers are reused across rounds:
-// gossip aggregation copies every kept model into a fresh output, so trained
-// vectors are never retained past the round.
+// gossip aggregation copies every kept model's values into its own output
+// buffer, so trained vectors are never retained past the round.
 func trainLocalFrom(t *localTrainer, cfg Config, starts, out []tensor.Vector, roundRNG *rng.RNG) {
 	devices := len(starts)
 	jobs := make(chan int)

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/nn"
@@ -47,6 +48,24 @@ func RunHFL(cfg Config) (*Result, error) {
 	updates := make([]tensor.Vector, devices)
 	trainer := newLocalTrainer(sizes, workers, devices)
 
+	// Aggregation working memory, reused across rounds: one Scratch for every
+	// BRA call (aggregation is sequential within a round), one destination
+	// buffer per (level, cluster) — inputs at each level live in the level
+	// below's buffers, so destinations never alias inputs — and a
+	// double-buffered global destination. Leader rotation preserves the tree
+	// shape, so the cluster counts are stable.
+	aggScratch := aggregate.NewScratch(workers)
+	dim := len(globalParams)
+	partialBufs := make([][]tensor.Vector, len(tree.Clusters))
+	levelOut := make([][]tensor.Vector, len(tree.Clusters))
+	for lvl := range tree.Clusters {
+		partialBufs[lvl] = make([]tensor.Vector, len(tree.Clusters[lvl]))
+		levelOut[lvl] = make([]tensor.Vector, len(tree.Clusters[lvl]))
+	}
+	var globalBufs [2]tensor.Vector
+	vecsBuf := make([]tensor.Vector, 0, devices)
+	idsBuf := make([]int, 0, devices)
+
 	baseTree := tree
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
@@ -78,8 +97,11 @@ func RunHFL(cfg Config) (*Result, error) {
 		// level; at the bottom the inputs are device updates.
 		partials := updates
 		byLevelInput := func(c *topology.Cluster, lvl int) ([]tensor.Vector, []int) {
-			vecs := make([]tensor.Vector, 0, c.Size())
-			ids := make([]int, 0, c.Size())
+			// The shared backing buffers are safe to reuse per cluster: both
+			// aggregation paths consume vecs/ids synchronously (BRA copies
+			// into its destination, CBA returns a fresh vector).
+			vecs := vecsBuf[:0]
+			ids := idsBuf[:0]
 			for mi, m := range c.Members {
 				var v tensor.Vector
 				if lvl == tree.Bottom() {
@@ -97,7 +119,10 @@ func RunHFL(cfg Config) (*Result, error) {
 			return vecs, ids
 		}
 		for lvl := tree.Bottom(); lvl >= 1; lvl-- {
-			next := make([]tensor.Vector, len(tree.Clusters[lvl]))
+			next := levelOut[lvl]
+			for i := range next {
+				next[i] = nil
+			}
 			for ci, c := range tree.Clusters[lvl] {
 				vecs, ids := byLevelInput(c, lvl)
 				if len(vecs) == 0 {
@@ -107,7 +132,10 @@ func RunHFL(cfg Config) (*Result, error) {
 					continue
 				}
 				vecs, ids = applyQuorum(cfg, roundRNG, lvl, ci, vecs, ids)
-				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids, pool)
+				if partialBufs[lvl][ci] == nil {
+					partialBufs[lvl][ci] = tensor.NewVector(dim)
+				}
+				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids, pool, partialBufs[lvl][ci], aggScratch)
 				if err != nil {
 					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
 				}
@@ -120,7 +148,10 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Global model aggregation (Algorithm 6) at the top. After the
 		// level loop, partials holds one model per level-1 cluster, whose
 		// leaders are exactly the top cluster's members.
-		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool)
+		if globalBufs[round%2] == nil {
+			globalBufs[round%2] = tensor.NewVector(dim)
+		}
+		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool, globalBufs[round%2], aggScratch)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d top level: %w", round, err)
 		}
@@ -315,8 +346,9 @@ func ruleForLevel(cfg Config, lvl int) LevelRule {
 // aggregateCluster forms one cluster's partial model with the configured
 // intermediate rule and returns its communication cost: members upload to
 // the leader and the leader broadcasts the result back (BRA), or all members
-// exchange proposals (CBA).
-func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int, pool *nn.EvalPool) (tensor.Vector, CommStats, error) {
+// exchange proposals (CBA). BRA writes into the caller-owned dst buffer using
+// scratch; CBA protocols return their own fresh vector.
+func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch) (tensor.Vector, CommStats, error) {
 	var comm CommStats
 	n := len(vecs)
 	if n == 0 {
@@ -324,14 +356,13 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 	}
 	rule := ruleForLevel(cfg, c.Level)
 	if !rule.IsCBA() {
-		agg, err := rule.BRA.Aggregate(vecs)
-		if err != nil {
+		if err := rule.BRA.AggregateInto(dst, scratch, vecs); err != nil {
 			return nil, comm, err
 		}
 		// Uploads to leader (leader's own model is local) + result broadcast
 		// to members for storage.
 		comm.ModelTransfers += (n - 1) + (c.Size() - 1)
-		return agg, comm, nil
+		return dst, comm, nil
 	}
 	ctx := &consensus.Context{
 		Members:   n,
@@ -349,8 +380,11 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 	return agg, comm, nil
 }
 
-// aggregateTop forms the global model (Algorithm 6).
-func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool) (tensor.Vector, CommStats, int, error) {
+// aggregateTop forms the global model (Algorithm 6). BRA writes into the
+// caller-owned dst buffer (double-buffered by the round loop so the previous
+// global model stays intact while the new one forms); CBA protocols return
+// their own fresh vector.
+func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch) (tensor.Vector, CommStats, int, error) {
 	var comm CommStats
 	vecs := make([]tensor.Vector, 0, len(partials))
 	for _, p := range partials {
@@ -362,13 +396,12 @@ func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials [
 		return nil, comm, 0, fmt.Errorf("top level received no partial models")
 	}
 	if !cfg.Global.IsCBA() {
-		agg, err := cfg.Global.BRA.Aggregate(vecs)
-		if err != nil {
+		if err := cfg.Global.BRA.AggregateInto(dst, scratch, vecs); err != nil {
 			return nil, comm, 0, err
 		}
 		n := len(vecs)
 		comm.ModelTransfers += (n - 1) + (n - 1) // uploads to A_{0,0} + broadcast
-		return agg, comm, 0, nil
+		return dst, comm, 0, nil
 	}
 	top := tree.Top()
 	ctx := &consensus.Context{

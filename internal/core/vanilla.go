@@ -85,14 +85,22 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 	res := &Result{}
 	updates := make([]tensor.Vector, clients)
 	trainer := newLocalTrainer(sizes, workers, clients)
+	// Aggregation memory persists across rounds: the scratch keeps the rule's
+	// internal buffers warm, and the double-buffered destination lets round r
+	// write while round r-1's result is still the read-only training start.
+	aggScratch := aggregate.NewScratch(workers)
+	var globalBufs [2]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
 		trainer.round(hcfg, globalParams, updates, nil, roundRNG)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
 		}
-		agg, err := cfg.Aggregator.Aggregate(updates)
-		if err != nil {
+		if globalBufs[round%2] == nil {
+			globalBufs[round%2] = tensor.NewVector(len(globalParams))
+		}
+		agg := globalBufs[round%2]
+		if err := cfg.Aggregator.AggregateInto(agg, aggScratch, updates); err != nil {
 			return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
 		}
 		globalParams = agg

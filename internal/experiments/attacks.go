@@ -61,6 +61,10 @@ func RunAggregationMatrix(o MatrixOptions) ([]MatrixCell, error) {
 	o.defaults()
 	nByz := int(o.ByzFrac * float64(o.N))
 	var out []MatrixCell
+	// One warm scratch and destination serve every (rule, attack, trial)
+	// cell; all cells share the same n and dim.
+	scratch := aggregate.NewScratch(0)
+	agg := tensor.NewVector(o.Dim)
 	for _, ruleName := range o.Rules {
 		rule, err := aggregate.ByName(ruleName)
 		if err != nil {
@@ -83,8 +87,7 @@ func RunAggregationMatrix(o MatrixOptions) ([]MatrixCell, error) {
 				for b := 0; b < nByz; b++ {
 					updates = append(updates, atk.Apply(r, honest[b%len(honest)], mean, std))
 				}
-				agg, err := rule.Aggregate(updates)
-				if err != nil {
+				if err := rule.AggregateInto(agg, scratch, updates); err != nil {
 					return nil, err
 				}
 				sum += tensor.Distance(agg, mean)

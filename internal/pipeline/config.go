@@ -148,10 +148,11 @@ type Config struct {
 	Seed uint64
 	// EvalEvery rounds between accuracy evaluations; zero selects 1.
 	EvalEvery int
-	// Workers bounds the goroutines used for consensus validator scoring and
-	// test-set evaluation (the simulation's event loop itself stays
-	// single-threaded and deterministic); zero selects GOMAXPROCS. Results
-	// are bit-identical for every value.
+	// Workers bounds the goroutines used for consensus validator scoring,
+	// test-set evaluation, and the robust-aggregation kernels (the
+	// simulation's event loop itself stays single-threaded and
+	// deterministic); zero selects GOMAXPROCS. Results are bit-identical for
+	// every value.
 	Workers int
 }
 

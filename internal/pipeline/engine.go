@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"abdhfl/internal/aggregate"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -60,9 +61,15 @@ type engine struct {
 	evalModel *nn.Model
 	evalPool  *nn.EvalPool
 	workers   int
-	quorumOf  func(size int) int
-	alpha     AlphaPolicy
-	done      bool
+	// aggScratch is shared by every cluster- and top-level aggregation: the
+	// simulation is single-threaded (discrete events run one at a time), so
+	// one warm scratch serves all actors without contention. Destination
+	// vectors stay fresh per aggregation because message envelopes retain
+	// them.
+	aggScratch *aggregate.Scratch
+	quorumOf   func(size int) int
+	alpha      AlphaPolicy
+	done       bool
 }
 
 func (e *engine) nodeOfCluster(l, i int) simnet.NodeID { return e.clusterNode[l][i] }
@@ -242,8 +249,8 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 	delete(a.collected, round)
 	dur := e.aggDuration(a.cluster.Level, a.cluster.Index, round)
 	ctx.After(dur, func(ctx *simnet.Context) {
-		agg, err := e.cfg.PartialBRA.Aggregate(vecs)
-		if err != nil {
+		agg := tensor.NewVector(len(vecs[0]))
+		if err := e.cfg.PartialBRA.AggregateInto(agg, e.aggScratch, vecs); err != nil {
 			// A malformed quorum at runtime: drop the round for this cluster.
 			return
 		}
@@ -309,7 +316,8 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 		}
 		global, _, err = e.cfg.TopVoting.Agree(cctx, vecs)
 	} else {
-		global, err = e.cfg.TopBRA.Aggregate(vecs)
+		global = tensor.NewVector(len(vecs[0]))
+		err = e.cfg.TopBRA.AggregateInto(global, e.aggScratch, vecs)
 	}
 	if err != nil {
 		return
@@ -378,16 +386,17 @@ func Run(cfg Config) (*Result, error) {
 	sim.Bandwidth = cfg.Bandwidth
 	sizes := cfg.modelSizes()
 	e := &engine{
-		cfg:       cfg,
-		tree:      tree,
-		sim:       sim,
-		root:      root,
-		sizes:     sizes,
-		result:    &Result{},
-		alpha:     cfg.Alpha,
-		evalModel: nn.NewShaped(sizes...),
-		evalPool:  nn.NewEvalPool(sizes...),
-		workers:   cfg.Workers,
+		cfg:        cfg,
+		tree:       tree,
+		sim:        sim,
+		root:       root,
+		sizes:      sizes,
+		result:     &Result{},
+		alpha:      cfg.Alpha,
+		evalModel:  nn.NewShaped(sizes...),
+		evalPool:   nn.NewEvalPool(sizes...),
+		workers:    cfg.Workers,
+		aggScratch: aggregate.NewScratch(cfg.Workers),
 	}
 	quorum := cfg.Quorum
 	if quorum == 0 {

@@ -55,6 +55,12 @@ type Config struct {
 	// hardware.
 	TrainDelay time.Duration
 	Seed       uint64
+	// Workers bounds the goroutines each aggregation call may fan out to.
+	// Leaders aggregate concurrently with one another, so this is a
+	// per-aggregation limit, not a global one; zero selects GOMAXPROCS.
+	// Each aggregation's result is bit-identical for every value (what varies
+	// between realtime runs is quorum membership, not kernel arithmetic).
+	Workers int
 }
 
 // Validate reports configuration errors.
@@ -300,6 +306,9 @@ func Run(cfg Config) (*Result, error) {
 				collected := map[int][]tensor.Vector{}
 				closed := map[int]bool{}
 				need := quorumOf(c.Size())
+				// Leader-owned aggregation scratch: leaders run concurrently,
+				// so the warm buffers must not be shared between goroutines.
+				aggScratch := aggregate.NewScratch(cfg.Workers)
 				for {
 					var env envelope
 					select {
@@ -319,8 +328,10 @@ func Run(cfg Config) (*Result, error) {
 						closed[env.round] = true
 						vecs := collected[env.round]
 						delete(collected, env.round)
-						agg, err := cfg.PartialBRA.Aggregate(vecs)
-						if err != nil {
+						// Fresh destination per call: the aggregate is retained
+						// by downstream envelopes.
+						agg := tensor.NewVector(len(vecs[0]))
+						if err := cfg.PartialBRA.AggregateInto(agg, aggScratch, vecs); err != nil {
 							continue
 						}
 						out := envelope{kind: kPartial, round: env.round, params: agg}
@@ -375,6 +386,7 @@ func Run(cfg Config) (*Result, error) {
 		collected := map[int][]tensor.Vector{}
 		closedRounds := map[int]bool{}
 		need := quorumOf(tree.Top().Size())
+		aggScratch := aggregate.NewScratch(cfg.Workers)
 		completed := 0
 		for completed < cfg.Rounds {
 			env := <-clusterInbox[0][0]
@@ -398,7 +410,8 @@ func Run(cfg Config) (*Result, error) {
 				}
 				global, _, err = cfg.TopVoting.Agree(cctx, vecs)
 			} else {
-				global, err = cfg.TopBRA.Aggregate(vecs)
+				global = tensor.NewVector(len(vecs[0]))
+				err = cfg.TopBRA.AggregateInto(global, aggScratch, vecs)
 			}
 			if err != nil {
 				continue

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+func TestSelectKthMatchesSort(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 3, 5, 12, 13, 50, 257, 1000} {
+		for trial := 0; trial < 20; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				switch trial % 3 {
+				case 0:
+					xs[i] = r.NormFloat64()
+				case 1:
+					xs[i] = float64(r.Intn(5)) // heavy duplicates
+				default:
+					xs[i] = float64(i) // already sorted
+				}
+			}
+			sorted := append([]float64(nil), xs...)
+			sort.Float64s(sorted)
+			k := r.Intn(n)
+			work := append([]float64(nil), xs...)
+			got := SelectKth(work, k)
+			if got != sorted[k] {
+				t.Fatalf("n=%d k=%d: SelectKth=%v want %v", n, k, got, sorted[k])
+			}
+			// Partition property: left <= xs[k] <= right.
+			for i := 0; i < k; i++ {
+				if work[i] > work[k] {
+					t.Fatalf("n=%d k=%d: work[%d]=%v > work[k]=%v", n, k, i, work[i], work[k])
+				}
+			}
+			for i := k + 1; i < n; i++ {
+				if work[i] < work[k] {
+					t.Fatalf("n=%d k=%d: work[%d]=%v < work[k]=%v", n, k, i, work[i], work[k])
+				}
+			}
+			// Same multiset after permutation.
+			sort.Float64s(work)
+			for i := range work {
+				if work[i] != sorted[i] {
+					t.Fatalf("n=%d: multiset changed at %d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectKthPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SelectKth([]float64{1, 2}, 2)
+}
+
+// TestMedianInPlaceBitIdentical pins the tentpole determinism contract: the
+// selection-based median must be bit-identical to the sort-based Median for
+// odd and even counts, including duplicate-heavy inputs.
+func TestMedianInPlaceBitIdentical(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16, 99, 100, 513} {
+		for trial := 0; trial < 30; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				if trial%2 == 0 {
+					xs[i] = r.NormFloat64() * 1e3
+				} else {
+					xs[i] = float64(r.Intn(4)) - 1.5
+				}
+			}
+			want := Median(xs)
+			got := MedianInPlace(append([]float64(nil), xs...))
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: MedianInPlace=%v Median=%v", n, got, want)
+			}
+		}
+	}
+}
+
+// TestTrimmedMeanInPlaceBitIdentical pins the ascending-sum contract of the
+// selection-based trimmed mean against the sort-based reference.
+func TestTrimmedMeanInPlaceBitIdentical(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range []int{1, 3, 4, 5, 10, 16, 101} {
+		for trim := 0; 2*trim < n; trim++ {
+			for trial := 0; trial < 10; trial++ {
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = r.NormFloat64()
+				}
+				want := TrimmedMean(xs, trim)
+				got := TrimmedMeanInPlace(append([]float64(nil), xs...), trim)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("n=%d trim=%d: TrimmedMeanInPlace=%v TrimmedMean=%v", n, trim, got, want)
+				}
+			}
+		}
+	}
+}
