@@ -22,6 +22,7 @@ import (
 	"abdhfl/internal/nn"
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/topology"
 )
 
@@ -235,6 +236,12 @@ type Materials struct {
 	Local            nn.TrainConfig
 	PartialRule      core.LevelRule
 	GlobalRule       core.LevelRule
+	// Telemetry, when set before a Run* call, is passed through to the
+	// engines so counters, gauges, and histograms accumulate there (see
+	// internal/telemetry); OnFilter likewise receives every aggregation's
+	// per-(level, cluster, round) filter verdict. Both default to off.
+	Telemetry *telemetry.Registry
+	OnFilter  func(telemetry.FilterDecision)
 }
 
 // Build materialises a scenario deterministically from its seed.
@@ -418,6 +425,8 @@ func (m *Materials) CoreConfig(seed uint64) core.Config {
 		EvalEvery:        m.Scenario.EvalEvery,
 		Workers:          m.Scenario.Workers,
 		Quorum:           m.Scenario.Quorum,
+		Telemetry:        m.Telemetry,
+		OnFilter:         m.OnFilter,
 	}
 }
 
@@ -445,18 +454,21 @@ func (m *Materials) RunVanilla(seed uint64) (*core.Result, error) {
 		Seed:        seed,
 		EvalEvery:   m.Scenario.EvalEvery,
 		Workers:     m.Scenario.Workers,
+		Telemetry:   m.Telemetry,
+		OnFilter:    m.OnFilter,
 	})
 }
 
-// RunPipeline executes the asynchronous pipeline workflow with the given
-// flag level, using the scenario's intermediate BRA rule and a voting top.
-func (m *Materials) RunPipeline(seed uint64, flagLevel int, timing pipeline.Timing) (*pipeline.Result, error) {
+// PipelineConfig assembles the asynchronous-engine configuration for the
+// given flag level, exposed (like CoreConfig) so callers can tweak
+// pipeline-only knobs before calling pipeline.Run directly.
+func (m *Materials) PipelineConfig(seed uint64, flagLevel int, timing pipeline.Timing) (pipeline.Config, error) {
 	bra, err := aggregate.ByName(m.Scenario.Aggregator)
 	if err != nil {
-		return nil, err
+		return pipeline.Config{}, err
 	}
 	voting := consensus.Voting{}
-	return pipeline.Run(pipeline.Config{
+	return pipeline.Config{
 		Tree:             m.Tree,
 		Rounds:           m.Scenario.Rounds,
 		FlagLevel:        flagLevel,
@@ -471,7 +483,20 @@ func (m *Materials) RunPipeline(seed uint64, flagLevel int, timing pipeline.Timi
 		Timing:           timing,
 		Seed:             seed,
 		EvalEvery:        m.Scenario.EvalEvery,
-	})
+		Workers:          m.Scenario.Workers,
+		Telemetry:        m.Telemetry,
+		OnFilter:         m.OnFilter,
+	}, nil
+}
+
+// RunPipeline executes the asynchronous pipeline workflow with the given
+// flag level, using the scenario's intermediate BRA rule and a voting top.
+func (m *Materials) RunPipeline(seed uint64, flagLevel int, timing pipeline.Timing) (*pipeline.Result, error) {
+	cfg, err := m.PipelineConfig(seed, flagLevel, timing)
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.Run(cfg)
 }
 
 // Run is the one-call convenience API: build the scenario and run the

@@ -15,6 +15,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
 )
@@ -152,6 +153,35 @@ func BenchmarkTable5Cell(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkTelemetryOverhead runs the same attacked round engine with the
+// telemetry registry detached (off) and attached together with a filter-audit
+// callback (on). Comparing the two arms quantifies the instrumentation tax on
+// the training hot path; the budget is <=2% (ISSUE 3 acceptance).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		s := benchScenario(func(s *Scenario) {
+			s.Attack = AttackType1
+			s.MaliciousFraction = 0.25
+		})
+		m, err := Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if attach {
+			m.Telemetry = telemetry.New()
+			m.OnFilter = func(telemetry.FilterDecision) {}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.RunHFL(uint64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkFig2Pipeline measures one asynchronous pipeline run (the workflow

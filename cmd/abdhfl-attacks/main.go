@@ -14,6 +14,7 @@ import (
 
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -23,10 +24,15 @@ func main() {
 		byzFrac = flag.Float64("byz", 0.25, "Byzantine fraction")
 		trials  = flag.Int("trials", 5, "random trials per cell")
 		e2e     = flag.Bool("e2e", false, "end-to-end accuracy matrix instead of aggregation error")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 	)
 	flag.Parse()
 	if *e2e {
-		cells, err := experiments.RunE2EMatrix(experiments.E2EOptions{Malicious: *byzFrac})
+		cells, err := experiments.RunE2EMatrix(experiments.E2EOptions{
+			Malicious: *byzFrac,
+			Telemetry: telemetry.MaybeServe(*taddr),
+		})
 		if err != nil {
 			fatal(err)
 		}

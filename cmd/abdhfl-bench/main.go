@@ -3,9 +3,10 @@
 // regressions can be tracked run-over-run (the repository keeps the numbers
 // for each optimisation PR in BENCH_<n>.json at the repo root).
 //
-//	abdhfl-bench                         # Table5 cells + Fig3 + per-rule kernels
+//	abdhfl-bench                         # Table5 cells + Fig3 + kernels + telemetry tax
 //	abdhfl-bench -bench '.' -count 3     # everything, three samples each
 //	abdhfl-bench -pkg ./internal/aggregate -bench AggregateRules
+//	abdhfl-bench -bench TelemetryOverhead -count 5   # telemetry-overhead arms only
 //	abdhfl-bench -o BENCH_1.json         # write to a file
 package main
 
@@ -43,7 +44,7 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules", "go test -bench regexp")
+	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules|TelemetryOverhead", "go test -bench regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
 	pkg := flag.String("pkg", ".,./internal/aggregate", "comma-separated packages to benchmark")

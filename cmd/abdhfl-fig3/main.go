@@ -15,6 +15,7 @@ import (
 
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +28,8 @@ func main() {
 		attacks  = flag.String("attacks", "type1,type2", "attacks to sweep")
 		fracsArg = flag.String("fractions", "0.30,0.50,0.65", "malicious proportions to sweep")
 		quick    = flag.Bool("quick", false, "smoke-scale pass")
+		taddr    = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 	)
 	flag.Parse()
 	if *quick {
@@ -51,6 +54,7 @@ func main() {
 		Dists:     strings.Split(*dist, ","),
 		Attacks:   strings.Split(*attacks, ","),
 		Fractions: fractions,
+		Telemetry: telemetry.MaybeServe(*taddr),
 	})
 	if err != nil {
 		fatal(err)

@@ -15,6 +15,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 )
 
@@ -28,12 +29,14 @@ func main() {
 		samples = flag.Int("samples", 500, "test samples for -eval")
 		mal     = flag.Float64("malicious", 0, "malicious proportion for -train (Type I)")
 		seed    = flag.Uint64("seed", 1, "seed")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address during -train; empty disables")
 	)
 	flag.Parse()
 
 	switch {
 	case *train:
-		doTrain(*out, *rounds, *mal, *seed)
+		doTrain(*out, *rounds, *mal, *seed, telemetry.MaybeServe(*taddr))
 	case *inspect != "":
 		doInspect(*inspect)
 	case *eval != "":
@@ -44,7 +47,7 @@ func main() {
 	}
 }
 
-func doTrain(out string, rounds int, mal float64, seed uint64) {
+func doTrain(out string, rounds int, mal float64, seed uint64, reg *telemetry.Registry) {
 	s := abdhfl.Scenario{
 		Rounds:            rounds,
 		SamplesPerClient:  150,
@@ -55,7 +58,12 @@ func doTrain(out string, rounds int, mal float64, seed uint64) {
 	if mal > 0 {
 		s.Attack = abdhfl.AttackType1
 	}
-	res, err := abdhfl.Run(s.WithDefaults())
+	mat, err := abdhfl.Build(s.WithDefaults())
+	if err != nil {
+		fatal(err)
+	}
+	mat.Telemetry = reg
+	res, err := mat.RunHFL(seed)
 	if err != nil {
 		fatal(err)
 	}

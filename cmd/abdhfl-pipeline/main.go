@@ -18,6 +18,7 @@ import (
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/pipeline"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -30,8 +31,11 @@ func main() {
 		flagLvl = flag.Int("flag", 1, "flag level for the timeline run")
 		sweep   = flag.Bool("sweep", false, "run the flag-level x delay-case sweep (Table VIII)")
 		trade   = flag.Bool("tradeoff", false, "run the efficiency/accuracy trade-off per flag level (§III-D2)")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 	)
 	flag.Parse()
+	reg := telemetry.MaybeServe(*taddr)
 
 	base := abdhfl.Scenario{
 		Levels: *levels, ClusterSize: *m, TopNodes: *top,
@@ -42,13 +46,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mat.Telemetry = reg
 
 	if *sweep {
-		runSweep(base)
+		runSweep(base, reg)
 		return
 	}
 	if *trade {
-		runTradeoff(base)
+		runTradeoff(base, reg)
 		return
 	}
 	runTimeline(mat, *flagLvl)
@@ -79,13 +84,14 @@ func runTimeline(mat *abdhfl.Materials, flagLevel int) {
 	fmt.Printf("network: %d messages, %d model-volume units\n", res.Network.Messages, res.Network.Volume)
 }
 
-func runSweep(s abdhfl.Scenario) {
+func runSweep(s abdhfl.Scenario, reg *telemetry.Registry) {
 	rows, err := experiments.RunFlagSweep(experiments.FlagSweepOptions{
 		Levels:      s.Levels,
 		ClusterSize: s.ClusterSize,
 		TopNodes:    s.TopNodes,
 		Rounds:      s.Rounds,
 		Samples:     s.SamplesPerClient,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		fatal(err)
@@ -97,13 +103,14 @@ func runSweep(s abdhfl.Scenario) {
 	fmt.Println("(more correction-factor reliance) for higher ν, as in Appendix E.")
 }
 
-func runTradeoff(s abdhfl.Scenario) {
+func runTradeoff(s abdhfl.Scenario, reg *telemetry.Registry) {
 	rows, err := experiments.RunTradeoff(experiments.TradeoffOptions{
 		Levels:      s.Levels,
 		ClusterSize: s.ClusterSize,
 		TopNodes:    s.TopNodes,
 		Rounds:      s.Rounds,
 		Samples:     s.SamplesPerClient,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		fatal(err)

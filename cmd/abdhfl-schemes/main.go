@@ -11,6 +11,7 @@ import (
 
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -21,6 +22,8 @@ func main() {
 		dist    = flag.String("dist", "iid", "data distribution")
 		agg     = flag.String("aggregator", "multi-krum", "BRA building block")
 		proto   = flag.String("protocol", "voting", "CBA building block")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 	)
 	flag.Parse()
 
@@ -33,6 +36,7 @@ func main() {
 		Dist:       *dist,
 		Aggregator: *agg,
 		Protocol:   *proto,
+		Telemetry:  telemetry.MaybeServe(*taddr),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "abdhfl-schemes:", err)

@@ -16,6 +16,7 @@ import (
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/realtime"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func main() {
 		listRules = flag.Bool("list", false, "list available aggregators and protocols, then exit")
 		config    = flag.String("config", "", "load the scenario from a JSON file (flags are ignored except -engine/-flaglevel/-baseline)")
 		showTree  = flag.Bool("tree", false, "print the tree structure (with Byzantine devices marked) before running")
+		taddr     = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 	)
 	flag.Parse()
 	if *listRules {
@@ -75,6 +78,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	mat.Telemetry = telemetry.MaybeServe(*taddr)
 	if *showTree {
 		fmt.Print(mat.Tree.Summary())
 		fmt.Println()
@@ -153,6 +157,7 @@ func runRealtime(mat *abdhfl.Materials, flagLevel int) {
 		TestData:         mat.TestData,
 		ValidationShards: mat.ValidationShards,
 		Seed:             mat.Scenario.Seed,
+		Telemetry:        mat.Telemetry,
 	})
 	if err != nil {
 		fatal(err)

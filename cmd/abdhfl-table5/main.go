@@ -7,6 +7,10 @@
 // -repeats runs. With the defaults it finishes in minutes on a laptop; use
 // -quick for a smoke-scale pass or raise -rounds/-repeats to approach the
 // paper's 200x5 setting.
+//
+// With -audit the command instead scores every aggregation's kept/discarded
+// contributor ids against the ground-truth attacker placement and reports
+// per-level filter precision/recall for the same attack families.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +32,10 @@ func main() {
 		samples  = flag.Int("samples", 200, "training samples per client (paper: 937 MNIST samples)")
 		quick    = flag.Bool("quick", false, "smoke-scale pass (few rounds, 1 repeat)")
 		csvPath  = flag.String("csv", "", "also write the table as CSV to this path")
+		audit    = flag.Bool("audit", false, "report per-level filter precision/recall instead of accuracy")
+		auditMal = flag.Float64("audit-malicious", 0.30, "malicious proportion for -audit runs")
+		taddr    = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
 		fracsArg = flag.String("fractions", "0,0.05,0.10,0.20,0.30,0.40,0.50,0.578,0.65",
 			"comma-separated malicious proportions")
 	)
@@ -34,12 +43,18 @@ func main() {
 	if *quick {
 		*rounds, *repeats, *samples = 15, 1, 80
 	}
+	reg := telemetry.MaybeServe(*taddr)
+	if *audit {
+		runAudit(*rounds, *samples, *auditMal, *csvPath, reg)
+		return
+	}
 	fractions, err := parseFractions(*fracsArg)
 	if err != nil {
 		fatal(err)
 	}
 
 	opts := experiments.Table5Options{
+		Telemetry: reg,
 		Rounds:    *rounds,
 		Repeats:   *repeats,
 		Samples:   *samples,
@@ -67,6 +82,40 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nCSV written to %s\n", *csvPath)
+	}
+}
+
+func runAudit(rounds, samples int, frac float64, csvPath string, reg *telemetry.Registry) {
+	fmt.Printf("Filter audit — per-level precision/recall vs ground truth (rounds=%d samples/client=%d malicious=%s)\n",
+		rounds, samples, metrics.Pct(frac))
+	res, err := experiments.RunFilterAudit(experiments.FilterAuditOptions{
+		Rounds:    rounds,
+		Samples:   samples,
+		Frac:      frac,
+		Telemetry: reg,
+		Progress: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Theorem 2 bound for the 3-level γ1=γ2=25%% tree: %s\n\n", metrics.Pct(res.Bound))
+	table := res.Table()
+	fmt.Print(table.Render())
+	fmt.Println("\nPrecision = flagged updates that were really malicious; recall = malicious")
+	fmt.Println("updates the filter acted against. Level 0 is the top (CBA) level; clipped")
+	fmt.Println("contributors count as flagged.")
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := table.WriteCSV(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV written to %s\n", csvPath)
 	}
 }
 

@@ -7,6 +7,10 @@
 // merging the stale global with the correction factor of Eq. 1) — and prints
 // the efficiency indicator ν, virtual wall-clock, and accuracy of both.
 //
+// The engine also feeds the telemetry registry; the run closes with the
+// registry's own view of the same statistics (per-phase σ means, staleness,
+// merges) — what a Prometheus scrape of -telemetry-addr would report.
+//
 //	go run ./examples/async_pipeline
 package main
 
@@ -16,6 +20,7 @@ import (
 
 	"abdhfl"
 	"abdhfl/internal/pipeline"
+	"abdhfl/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := telemetry.New()
+	materials.Telemetry = reg
 
 	timing := pipeline.DefaultTiming()
 	for _, flagLevel := range []int{0, 1} {
@@ -55,4 +62,23 @@ func main() {
 		fmt.Printf("%5d   %8.1f   %14.1f   %7.1f   %.3f\n",
 			t.Round, t.SigmaW, t.SigmaP+t.SigmaG, t.Sigma, t.Nu)
 	}
+
+	snap := reg.Snapshot()
+	fmt.Println("\ntelemetry round stats (registry view, aggregated over all three runs):")
+	fmt.Printf("  rounds completed        %d\n", snap.Counters[`abdhfl_rounds_total{engine="pipeline"}`])
+	fmt.Printf("  correction-factor merges %d\n", snap.Counters["abdhfl_pipeline_merged_globals_total"])
+	for _, phase := range []string{"wait", "partial", "global", "total"} {
+		name := fmt.Sprintf("abdhfl_pipeline_sigma_vms{phase=%q}", phase)
+		fmt.Printf("  mean σ %-8s         %.1f vms\n", phase, histMean(snap.Histograms[name]))
+	}
+	fmt.Printf("  mean staleness          %.1f vms\n", histMean(snap.Histograms["abdhfl_pipeline_staleness_vms"]))
+	fmt.Printf("  mean ν                  %.3f\n", histMean(snap.Histograms["abdhfl_pipeline_nu"]))
+}
+
+// histMean is a histogram's mean observation (0 when empty).
+func histMean(h telemetry.HistogramValue) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
 }

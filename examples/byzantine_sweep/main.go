@@ -1,6 +1,9 @@
 // Byzantine sweep: reproduce the shape of the paper's Table V on a laptop
 // scale — sweep the malicious proportion across the Theorem 2 bound and
-// watch vanilla FL collapse while ABD-HFL holds.
+// watch vanilla FL collapse while ABD-HFL holds. Each ABD-HFL run also
+// audits its Byzantine filters: every aggregation's kept/discarded
+// contributor ids are scored against the known attacker placement, giving
+// per-level filter precision and recall.
 //
 //	go run ./examples/byzantine_sweep
 package main
@@ -8,15 +11,17 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"abdhfl"
+	"abdhfl/internal/experiments"
 )
 
 func main() {
 	fractions := []float64{0, 0.25, 0.50, 0.578, 0.65}
 	bound := abdhfl.TheoreticalBound(abdhfl.Scenario{})
 	fmt.Printf("Sweeping Type I label-flip poisoning across the %s tolerance bound\n\n", pct(bound))
-	fmt.Println("malicious  ABD-HFL  vanilla FL (both with MultiKrum; ABD-HFL adds the voting top)")
+	fmt.Println("malicious  ABD-HFL  vanilla FL  filter precision/recall per level (top..bottom)")
 
 	for _, frac := range fractions {
 		scenario := abdhfl.Scenario{
@@ -33,10 +38,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		scorer := experiments.NewFilterScorer(materials.Tree, materials.Byzantine)
+		materials.OnFilter = scorer.Observe
 		hfl, err := materials.RunHFL(1)
 		if err != nil {
 			log.Fatal(err)
 		}
+		materials.OnFilter = nil // the flat vanilla baseline has no per-level filters to audit
 		vanilla, err := materials.RunVanilla(1)
 		if err != nil {
 			log.Fatal(err)
@@ -45,8 +53,20 @@ func main() {
 		if frac > bound {
 			marker = "  <- beyond the theoretical bound"
 		}
-		fmt.Printf("%8s   %-7s  %-7s%s\n", pct(frac), pct(hfl.FinalAccuracy), pct(vanilla.FinalAccuracy), marker)
+		fmt.Printf("%8s   %-7s  %-10s  %s%s\n",
+			pct(frac), pct(hfl.FinalAccuracy), pct(vanilla.FinalAccuracy), filterSummary(scorer), marker)
 	}
+	fmt.Println("\nPrecision = flagged updates that were really malicious; recall = malicious")
+	fmt.Println("updates flagged. Both are 1 when nothing (malicious) reached that level.")
+}
+
+// filterSummary renders one run's per-level audit as "L0 p=… r=… | L1 …".
+func filterSummary(scorer *experiments.FilterScorer) string {
+	parts := make([]string, 0, len(scorer.Levels))
+	for _, ls := range scorer.Levels {
+		parts = append(parts, fmt.Sprintf("L%d p=%s r=%s", ls.Level, pct(ls.Precision()), pct(ls.Recall())))
+	}
+	return strings.Join(parts, " | ")
 }
 
 func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -83,12 +83,16 @@ func (a Mean) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 }
 
 // AggregateInto implements Aggregator.
-func (Mean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
+func (a Mean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
 		return err
 	}
 	s := scratch.resolve()
 	tensor.MeanWS(dst, updates, s.Workers)
+	if aud := s.Audit; aud != nil {
+		// Plain averaging filters nothing: every update is kept.
+		aud.begin(a.Name(), len(updates))
+	}
 	return nil
 }
 
@@ -104,12 +108,18 @@ func (a Median) Aggregate(updates []tensor.Vector) (tensor.Vector, error) {
 }
 
 // AggregateInto implements Aggregator.
-func (Median) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
+func (a Median) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tensor.Vector) error {
 	if err := checkUpdates(updates); err != nil {
 		return err
 	}
 	s := scratch.resolve()
-	tensor.CoordinateMedianWS(dst, updates, s.columns(len(updates)), s.Workers)
+	n := len(updates)
+	tensor.CoordinateMedianWS(dst, updates, s.columns(n), s.Workers)
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), n)
+		// The median keeps rank (n-1)/2, or the two middle ranks for even n.
+		aud.recordCoordinates(updates, (n-1)/2, n/2)
+	}
 	return nil
 }
 
@@ -144,6 +154,12 @@ func (a TrimmedMean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates 
 	}
 	s := scratch.resolve()
 	tensor.CoordinateTrimmedMeanWS(dst, updates, trim, s.columns(n), s.Workers)
+	if aud := s.Audit; aud != nil {
+		// The family name, not Name(): formatting the fraction would put an
+		// allocation on the audited hot path.
+		aud.begin("trimmed-mean", n)
+		aud.recordCoordinates(updates, trim, n-1-trim)
+	}
 	return nil
 }
 
@@ -181,5 +197,11 @@ func (a GeoMed) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 	next := s.vector(len(updates[0]))
 	dists := growFloats(&s.norms, len(updates))
 	tensor.GeometricMedianWS(dst, updates, tol, maxIter, next, dists, s.Workers)
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), len(updates))
+		// Distances from the converged median define the Weiszfeld weights.
+		tensor.DistancesWS(dists, dst, updates, s.Workers)
+		aud.recordGeoMedWeights(dists)
+	}
 	return nil
 }

@@ -1,0 +1,190 @@
+package aggregate
+
+import (
+	"strings"
+	"testing"
+
+	"abdhfl/internal/tensor"
+)
+
+// auditPopulation is allocPopulation with a known attacker layout: indices
+// 0..8 honest (centred at +1), 9..11 Byzantine (centred at -30, far outside
+// the honest cloud so every robust rule should reject or clip them).
+func auditPopulation() (updates []tensor.Vector, byz map[int]bool) {
+	updates = allocPopulation()
+	byz = map[int]bool{9: true, 10: true, 11: true}
+	return
+}
+
+// TestAuditFlagsOutliers checks, rule by rule, that the audit marks the
+// planted outliers as filtered (trimmed or clipped) and keeps a majority of
+// the honest updates at full weight. Mean is the control: it filters
+// nothing by construction.
+func TestAuditFlagsOutliers(t *testing.T) {
+	updates, byz := auditPopulation()
+	dim := len(updates[0])
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewScratch(1)
+			s.Audit = &FilterAudit{}
+			dst := tensor.NewVector(dim)
+			if err := rule.AggregateInto(dst, s, updates); err != nil {
+				t.Fatal(err)
+			}
+			aud := s.Audit
+			// Audit rule names drop parameter suffixes (trimmed-mean(0.25)
+			// reports as trimmed-mean) to keep recording allocation-free.
+			if !strings.HasPrefix(rule.Name(), aud.Rule) || aud.Rule == "" {
+				t.Errorf("audit rule = %q, want prefix of %q", aud.Rule, rule.Name())
+			}
+			if len(aud.Decisions) != len(updates) {
+				t.Fatalf("audit covers %d updates, want %d", len(aud.Decisions), len(updates))
+			}
+			if name == "mean" {
+				for i, d := range aud.Decisions {
+					if d != DecisionKept {
+						t.Errorf("mean filtered update %d (%v)", i, d)
+					}
+				}
+				return
+			}
+			for i := range updates {
+				if byz[i] && aud.Decisions[i] == DecisionKept {
+					t.Errorf("outlier %d kept at full weight by %s", i, name)
+				}
+			}
+			honestKept := 0
+			for i := range updates {
+				if !byz[i] && aud.Decisions[i] == DecisionKept {
+					honestKept++
+				}
+			}
+			if name == "krum" {
+				// Classic Krum selects exactly one update — it just has to
+				// be an honest one.
+				if honestKept != 1 {
+					t.Errorf("krum kept %d honest updates, want exactly 1", honestKept)
+				}
+				return
+			}
+			if honestKept <= (len(updates)-len(byz))/2 {
+				t.Errorf("%s kept only %d of %d honest updates", name, honestKept, len(updates)-len(byz))
+			}
+		})
+	}
+}
+
+// TestAuditDoesNotChangeOutput pins that auditing is a pure observer: for
+// every rule the aggregate with auditing enabled is bit-identical to the
+// aggregate without.
+func TestAuditDoesNotChangeOutput(t *testing.T) {
+	updates, _ := auditPopulation()
+	dim := len(updates[0])
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := tensor.NewVector(dim)
+		if err := rule.AggregateInto(plain, NewScratch(1), updates); err != nil {
+			t.Fatal(err)
+		}
+		s := NewScratch(1)
+		s.Audit = &FilterAudit{}
+		audited := tensor.NewVector(dim)
+		if err := rule.AggregateInto(audited, s, updates); err != nil {
+			t.Fatal(err)
+		}
+		if !bitsEqual(plain, audited) {
+			t.Errorf("%s: enabling the audit changed the aggregate", name)
+		}
+	}
+}
+
+// TestAuditAllocationFree extends the zero-allocation contract to audited
+// aggregation: with a warm Scratch and a warm FilterAudit, recording the
+// filtering decisions costs nothing.
+func TestAuditAllocationFree(t *testing.T) {
+	updates, _ := auditPopulation()
+	dim := len(updates[0])
+	for _, name := range Names() {
+		rule, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			s := NewScratch(1)
+			s.Audit = &FilterAudit{}
+			dst := tensor.NewVector(dim)
+			if err := rule.AggregateInto(dst, s, updates); err != nil { // warm up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if err := rule.AggregateInto(dst, s, updates); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("%s audited AggregateInto allocates %.1f objects/op, want 0", name, allocs)
+			}
+		})
+	}
+}
+
+// TestAuditWeights sanity-checks the weight semantics of the scaling and
+// geomed audits.
+func TestAuditWeights(t *testing.T) {
+	updates, byz := auditPopulation()
+	dim := len(updates[0])
+	t.Run("norm-bound", func(t *testing.T) {
+		s := NewScratch(1)
+		s.Audit = &FilterAudit{}
+		dst := tensor.NewVector(dim)
+		if err := (NormBound{}).AggregateInto(dst, s, updates); err != nil {
+			t.Fatal(err)
+		}
+		for i := range updates {
+			w := s.Audit.Weights[i]
+			if byz[i] && w >= 1 {
+				t.Errorf("outlier %d not clipped (weight %v)", i, w)
+			}
+			if w <= 0 || w > 1 {
+				t.Errorf("clip weight %d = %v out of (0,1]", i, w)
+			}
+		}
+	})
+	t.Run("geomed", func(t *testing.T) {
+		s := NewScratch(1)
+		s.Audit = &FilterAudit{}
+		dst := tensor.NewVector(dim)
+		if err := (GeoMed{}).AggregateInto(dst, s, updates); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, w := range s.Audit.Weights {
+			sum += w
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("geomed weights sum to %v, want 1", sum)
+		}
+	})
+	t.Run("counts", func(t *testing.T) {
+		s := NewScratch(1)
+		s.Audit = &FilterAudit{}
+		dst := tensor.NewVector(dim)
+		if err := (Krum{FFraction: 0.25}).AggregateInto(dst, s, updates); err != nil {
+			t.Fatal(err)
+		}
+		kept, clipped, trimmed := s.Audit.Counts()
+		if kept+clipped+trimmed != len(updates) {
+			t.Errorf("counts %d+%d+%d != %d", kept, clipped, trimmed, len(updates))
+		}
+		if trimmed < len(byz) {
+			t.Errorf("multi-krum trimmed %d, want >= %d", trimmed, len(byz))
+		}
+	})
+}

@@ -40,11 +40,14 @@ func (a Bulyan) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 	if f < 0 {
 		return fmt.Errorf("aggregate: bulyan with negative f")
 	}
+	s := scratch.resolve()
 	if n == 1 {
 		copy(dst, updates[0])
+		if aud := s.Audit; aud != nil {
+			aud.begin(a.Name(), 1)
+		}
 		return nil
 	}
-	s := scratch.resolve()
 	// Stage 1: iterated Krum selection of n-2f updates. With small quorums
 	// clamp the selection count to at least 1 so tiny clusters stay
 	// servable (mirroring the Krum fallback). The full pairwise matrix is
@@ -82,6 +85,10 @@ func (a Bulyan) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 		}
 		selIdx = append(selIdx, alive[best])
 		alive = append(alive[:best], alive[best+1:]...)
+	}
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), n)
+		aud.keepOnly(selIdx)
 	}
 	// Stage 2: per coordinate, average the beta values closest to the
 	// median of the selected set.

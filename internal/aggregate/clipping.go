@@ -47,6 +47,12 @@ func (a CenteredClipping) AggregateInto(dst tensor.Vector, scratch *Scratch, upd
 	norms := growFloats(&s.norms, n)
 	tmp := growFloats(&s.tmp, n)
 	scales := growFloats(&s.scales, n)
+	aud := s.Audit
+	if aud != nil {
+		// Defaults to all-kept; each completed iteration overwrites with
+		// its clip scales, so the final iteration's verdict stands.
+		aud.begin(a.Name(), n)
+	}
 	for it := 0; it < iters; it++ {
 		tensor.DistancesWS(norms, dst, updates, s.Workers)
 		tau := a.Tau
@@ -64,6 +70,9 @@ func (a CenteredClipping) AggregateInto(dst tensor.Vector, scratch *Scratch, upd
 			} else {
 				scales[i] = 1
 			}
+		}
+		if aud != nil {
+			aud.recordScales(scales)
 		}
 		tensor.CenteredStepWS(dst, updates, scales, s.Workers)
 	}
@@ -131,6 +140,14 @@ func (a CosineClustering) AggregateInto(dst tensor.Vector, scratch *Scratch, upd
 		if labels[i] == best {
 			chosen[m] = updates[i]
 			m++
+		}
+	}
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), n)
+		for i, l := range labels {
+			if l != best {
+				aud.Decisions[i] = DecisionTrimmed
+			}
 		}
 	}
 	tensor.MeanWS(dst, chosen, s.Workers)

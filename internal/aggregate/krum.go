@@ -87,12 +87,19 @@ func (a Krum) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tenso
 	if err != nil {
 		return err
 	}
+	s := scratch.resolve()
 	if n == 1 {
 		copy(dst, updates[0])
+		if aud := s.Audit; aud != nil {
+			aud.begin(a.Name(), 1)
+		}
 		return nil
 	}
-	s := scratch.resolve()
 	order := krumOrderWS(s, updates, k)
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), n)
+		aud.keepOnly(order[:m])
+	}
 	if m == 1 {
 		copy(dst, updates[order[0]])
 		return nil

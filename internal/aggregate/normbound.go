@@ -51,6 +51,10 @@ func (a NormBound) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []
 			scales[i] = 1
 		}
 	}
+	if aud := s.Audit; aud != nil {
+		aud.begin(a.Name(), n)
+		aud.recordScales(scales)
+	}
 	tensor.ScaledMeanWS(dst, updates, scales, s.Workers)
 	return nil
 }

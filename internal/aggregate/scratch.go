@@ -19,6 +19,11 @@ import (
 type Scratch struct {
 	// Workers bounds the goroutine fan-out of the parallel kernels.
 	Workers int
+	// Audit, when non-nil, makes every AggregateInto record its per-update
+	// filtering decisions into it (see FilterAudit). Auditing observes the
+	// rules without changing their output and reuses the audit's buffers,
+	// so the steady state stays allocation-free.
+	Audit *FilterAudit
 
 	cols   []float64       // per-worker coordinate columns (workers × n)
 	dists  []float64       // flat n×n pairwise distances / Gram matrix

@@ -119,6 +119,10 @@ type Stats struct {
 	ModelTransfers int
 	// Excluded lists the proposal indices ruled out as malicious.
 	Excluded []int
+	// Votes[i] is the positive-vote tally proposal i received, for protocols
+	// that vote (Voting); nil for score-ranking protocols (Committee). The
+	// engines feed these tallies into the telemetry vote histograms.
+	Votes []int
 }
 
 // Protocol is a consensus-based aggregation rule: members agree on one model
@@ -186,6 +190,7 @@ func (v Voting) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, S
 		ModelTransfers: n * (n - 1),
 		Messages:       2 * n * (n - 1),
 		Excluded:       excluded,
+		Votes:          counts,
 	}
 	out := tensor.Mean(tensor.NewVector(len(proposals[0])), kept)
 	return out, st, nil

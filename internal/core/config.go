@@ -16,6 +16,7 @@ import (
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/topology"
 )
 
@@ -93,6 +94,17 @@ type Config struct {
 	// OnRound, if non-nil, receives every evaluated RoundStat as the run
 	// progresses — streaming progress for long experiments.
 	OnRound func(RoundStat)
+	// Telemetry, when non-nil, receives the run's metrics: round and phase
+	// wall-clock histograms, accuracy/loss gauges, communication counters,
+	// consensus vote tallies, and per-level filter kept/clipped/discarded
+	// counts. Nil disables instrumentation entirely (the engines skip even
+	// the clock reads).
+	Telemetry *telemetry.Registry
+	// OnFilter, if non-nil, receives every aggregation step's filtering
+	// verdict — which contributor ids were kept, clipped, or discarded at
+	// each (level, cluster, round). The decision's id slices are reused
+	// between calls; consumers must copy or reduce them before returning.
+	OnFilter func(telemetry.FilterDecision)
 	// Workers bounds the worker pools of the run's parallel hot paths:
 	// local training, consensus validator scoring, test-set evaluation, and
 	// the robust-aggregation kernels (coordinate statistics and pairwise

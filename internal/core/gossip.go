@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 )
 
@@ -38,6 +40,12 @@ type GossipConfig struct {
 	// EvalSample bounds how many devices are evaluated per measurement
 	// (mean accuracy over a deterministic sample); zero selects 8.
 	EvalSample int
+	// Telemetry and OnFilter mirror Config's fields. Gossip reports every
+	// per-device neighbourhood aggregation at level 0, with the device's own
+	// id as the cluster index and the neighbourhood's device ids as
+	// contributors.
+	Telemetry *telemetry.Registry
+	OnFilter  func(telemetry.FilterDecision)
 }
 
 // Validate reports configuration errors.
@@ -119,13 +127,27 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	// per-device model storage (round r writes bufs[r%2] while bufs[(r-1)%2]
 	// still holds the params the trainer just read).
 	aggScratch := aggregate.NewScratch(workers)
+	ins := newInstruments(cfg.Telemetry, "gossip", 1)
+	fe := newFilterEmitter(ins, cfg.OnFilter, "gossip")
+	fe.attach(aggScratch)
 	group := make([]tensor.Vector, 0, fanout+1)
+	groupIDs := make([]int, 0, fanout+1)
 	dim := len(initParams)
 	var aggBufs [2][]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		var tRound, tPhase time.Time
+		commBefore := res.Comm
+		if ins.enabled() {
+			tRound = time.Now()
+			tPhase = tRound
+		}
 		// Local training: each device trains its own current model.
 		trainLocalFrom(trainer, hcfg, params, trained, roundRNG)
+		if ins.enabled() {
+			ins.observePhase(phaseTrain, time.Since(tPhase))
+			tPhase = time.Now()
+		}
 		// Gossip exchange: each device aggregates its model with fanout
 		// random peers' trained models.
 		if aggBufs[round%2] == nil {
@@ -135,9 +157,11 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 		for id := 0; id < devices; id++ {
 			r := roundRNG.Derive(fmt.Sprintf("peers-%d", id))
 			group = append(group[:0], trained[id])
+			groupIDs = append(groupIDs[:0], id)
 			for _, p := range r.Choice(devices, fanout+1) {
 				if p != id && len(group) <= fanout {
 					group = append(group, trained[p])
+					groupIDs = append(groupIDs, p)
 				}
 			}
 			if next[id] == nil {
@@ -146,9 +170,14 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			if err := cfg.Aggregator.AggregateInto(next[id], aggScratch, group); err != nil {
 				return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
 			}
+			fe.emitAudit(0, id, round, groupIDs)
 			res.Comm.ModelTransfers += len(group) - 1
 		}
 		params = next
+		if ins.enabled() {
+			ins.observePhase(phaseAggregate, time.Since(tPhase))
+			tPhase = time.Now()
+		}
 
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
 			// Mean accuracy over a deterministic device sample.
@@ -158,7 +187,18 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 				evalModel.SetParams(params[id])
 				sum += nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
 			}
-			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: sum / float64(evalSample)})
+			acc := sum / float64(evalSample)
+			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: acc})
+			ins.evalDone(acc, 0)
+			if ins.enabled() {
+				ins.observePhase(phaseEval, time.Since(tPhase))
+			}
+		}
+		if ins.enabled() {
+			delta := res.Comm
+			delta.ModelTransfers -= commBefore.ModelTransfers
+			delta.ScalarMessages -= commBefore.ScalarMessages
+			ins.roundDone(time.Since(tRound), delta)
 		}
 	}
 	if len(res.Curve) > 0 {

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
@@ -55,6 +56,9 @@ func RunHFL(cfg Config) (*Result, error) {
 	// double-buffered global destination. Leader rotation preserves the tree
 	// shape, so the cluster counts are stable.
 	aggScratch := aggregate.NewScratch(workers)
+	ins := newInstruments(cfg.Telemetry, "hfl", len(tree.Clusters))
+	fe := newFilterEmitter(ins, cfg.OnFilter, "hfl")
+	fe.attach(aggScratch)
 	dim := len(globalParams)
 	partialBufs := make([][]tensor.Vector, len(tree.Clusters))
 	levelOut := make([][]tensor.Vector, len(tree.Clusters))
@@ -69,6 +73,12 @@ func RunHFL(cfg Config) (*Result, error) {
 	baseTree := tree
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		var tRound, tPhase time.Time
+		commBefore := res.Comm
+		if ins.enabled() {
+			tRound = time.Now()
+			tPhase = tRound
+		}
 
 		// --- Leader re-election: rotate every cluster's leadership and
 		// rebuild the upper levels from the new leaders.
@@ -90,6 +100,11 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Model-update attacks by Byzantine devices (omniscient model).
 		if cfg.ModelAttack != nil {
 			applyModelAttack(cfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+
+		if ins.enabled() {
+			ins.observePhase(phaseTrain, time.Since(tPhase))
+			tPhase = time.Now()
 		}
 
 		// --- Partial model aggregation (Algorithms 3-4), bottom level up to
@@ -135,7 +150,7 @@ func RunHFL(cfg Config) (*Result, error) {
 				if partialBufs[lvl][ci] == nil {
 					partialBufs[lvl][ci] = tensor.NewVector(dim)
 				}
-				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids, pool, partialBufs[lvl][ci], aggScratch)
+				agg, comm, err := aggregateCluster(cfg, roundRNG, c, vecs, ids, pool, partialBufs[lvl][ci], aggScratch, fe, round)
 				if err != nil {
 					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
 				}
@@ -151,7 +166,7 @@ func RunHFL(cfg Config) (*Result, error) {
 		if globalBufs[round%2] == nil {
 			globalBufs[round%2] = tensor.NewVector(dim)
 		}
-		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool, globalBufs[round%2], aggScratch)
+		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool, globalBufs[round%2], aggScratch, fe, round)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d top level: %w", round, err)
 		}
@@ -162,6 +177,10 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Dissemination (Algorithm 5): the global model travels down the
 		// tree, one broadcast per cluster.
 		res.Comm.Add(disseminationCost(tree))
+		if ins.enabled() {
+			ins.observePhase(phaseAggregate, time.Since(tPhase))
+			tPhase = time.Now()
+		}
 
 		// --- Evaluation.
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
@@ -171,9 +190,19 @@ func RunHFL(cfg Config) (*Result, error) {
 			acc, loss := nn.Evaluate(evalModel, cfg.TestData, workers)
 			stat := RoundStat{Round: round + 1, Accuracy: acc, Loss: loss}
 			res.Curve = append(res.Curve, stat)
+			ins.evalDone(acc, loss)
 			if cfg.OnRound != nil {
 				cfg.OnRound(stat)
 			}
+			if ins.enabled() {
+				ins.observePhase(phaseEval, time.Since(tPhase))
+			}
+		}
+		if ins.enabled() {
+			delta := res.Comm
+			delta.ModelTransfers -= commBefore.ModelTransfers
+			delta.ScalarMessages -= commBefore.ScalarMessages
+			ins.roundDone(time.Since(tRound), delta)
 		}
 	}
 	if len(res.Curve) > 0 {
@@ -348,7 +377,7 @@ func ruleForLevel(cfg Config, lvl int) LevelRule {
 // the leader and the leader broadcasts the result back (BRA), or all members
 // exchange proposals (CBA). BRA writes into the caller-owned dst buffer using
 // scratch; CBA protocols return their own fresh vector.
-func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch) (tensor.Vector, CommStats, error) {
+func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs []tensor.Vector, ids []int, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch, fe *filterEmitter, round int) (tensor.Vector, CommStats, error) {
 	var comm CommStats
 	n := len(vecs)
 	if n == 0 {
@@ -359,6 +388,7 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 		if err := rule.BRA.AggregateInto(dst, scratch, vecs); err != nil {
 			return nil, comm, err
 		}
+		fe.emitAudit(c.Level, c.Index, round, ids)
 		// Uploads to leader (leader's own model is local) + result broadcast
 		// to members for storage.
 		comm.ModelTransfers += (n - 1) + (c.Size() - 1)
@@ -375,6 +405,7 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 	if err != nil {
 		return nil, comm, err
 	}
+	fe.emitConsensus(c.Level, c.Index, round, ids, rule.Name(), st)
 	comm.ModelTransfers += st.ModelTransfers
 	comm.ScalarMessages += st.Messages - st.ModelTransfers
 	return agg, comm, nil
@@ -384,12 +415,22 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 // caller-owned dst buffer (double-buffered by the round loop so the previous
 // global model stays intact while the new one forms); CBA protocols return
 // their own fresh vector.
-func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch) (tensor.Vector, CommStats, int, error) {
+func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch, fe *filterEmitter, round int) (tensor.Vector, CommStats, int, error) {
 	var comm CommStats
 	vecs := make([]tensor.Vector, 0, len(partials))
-	for _, p := range partials {
+	var ids []int
+	for i, p := range partials {
 		if p != nil {
 			vecs = append(vecs, p)
+			if fe != nil {
+				// Top-level contributors are the level-1 cluster leaders (or
+				// the devices themselves in a degenerate single-level tree).
+				if tree.Bottom() == 0 {
+					ids = append(ids, i)
+				} else {
+					ids = append(ids, tree.Clusters[1][i].Leader)
+				}
+			}
 		}
 	}
 	if len(vecs) == 0 {
@@ -399,6 +440,7 @@ func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials [
 		if err := cfg.Global.BRA.AggregateInto(dst, scratch, vecs); err != nil {
 			return nil, comm, 0, err
 		}
+		fe.emitAudit(0, 0, round, ids)
 		n := len(vecs)
 		comm.ModelTransfers += (n - 1) + (n - 1) // uploads to A_{0,0} + broadcast
 		return dst, comm, 0, nil
@@ -415,6 +457,7 @@ func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials [
 	if err != nil {
 		return nil, comm, 0, err
 	}
+	fe.emitConsensus(0, 0, round, ids, cfg.Global.Name(), st)
 	comm.ModelTransfers += st.ModelTransfers
 	comm.ScalarMessages += st.Messages - st.ModelTransfers
 	return agg, comm, len(st.Excluded), nil

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 )
 
@@ -32,6 +34,11 @@ type VanillaConfig struct {
 	Seed      uint64
 	EvalEvery int
 	Workers   int
+	// Telemetry and OnFilter mirror Config's fields: metrics registry and
+	// per-aggregation filter verdict callback (the star topology reports
+	// everything at level 0 with client ids as contributor ids).
+	Telemetry *telemetry.Registry
+	OnFilter  func(telemetry.FilterDecision)
 }
 
 // Validate reports configuration errors.
@@ -89,12 +96,24 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 	// internal buffers warm, and the double-buffered destination lets round r
 	// write while round r-1's result is still the read-only training start.
 	aggScratch := aggregate.NewScratch(workers)
+	ins := newInstruments(cfg.Telemetry, "vanilla", 1)
+	fe := newFilterEmitter(ins, cfg.OnFilter, "vanilla")
+	fe.attach(aggScratch)
 	var globalBufs [2]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		var tRound, tPhase time.Time
+		if ins.enabled() {
+			tRound = time.Now()
+			tPhase = tRound
+		}
 		trainer.round(hcfg, globalParams, updates, nil, roundRNG)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+		if ins.enabled() {
+			ins.observePhase(phaseTrain, time.Since(tPhase))
+			tPhase = time.Now()
 		}
 		if globalBufs[round%2] == nil {
 			globalBufs[round%2] = tensor.NewVector(len(globalParams))
@@ -103,14 +122,27 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		if err := cfg.Aggregator.AggregateInto(agg, aggScratch, updates); err != nil {
 			return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
 		}
+		// No churn in the star baseline, so update positions are client ids.
+		fe.emitAudit(0, 0, round, nil)
 		globalParams = agg
 		// Star topology: every client uploads, the server broadcasts back.
 		res.Comm.ModelTransfers += 2 * clients
+		if ins.enabled() {
+			ins.observePhase(phaseAggregate, time.Since(tPhase))
+			tPhase = time.Now()
+		}
 
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
 			evalModel.SetParams(globalParams)
 			acc, loss := nn.Evaluate(evalModel, cfg.TestData, workers)
 			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: acc, Loss: loss})
+			ins.evalDone(acc, loss)
+			if ins.enabled() {
+				ins.observePhase(phaseEval, time.Since(tPhase))
+			}
+		}
+		if ins.enabled() {
+			ins.roundDone(time.Since(tRound), CommStats{ModelTransfers: 2 * clients})
 		}
 	}
 	if len(res.Curve) > 0 {

@@ -8,6 +8,7 @@ import (
 	"abdhfl/internal/attack"
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 )
 
@@ -136,6 +137,8 @@ type E2EOptions struct {
 	Malicious float64 // 0 -> 0.25
 	Attacks   []abdhfl.Attack
 	Defences  []string
+	// Telemetry, if non-nil, accumulates every run's engine metrics.
+	Telemetry *telemetry.Registry
 }
 
 func (o *E2EOptions) defaults() {
@@ -200,6 +203,7 @@ func RunE2EMatrix(o E2EOptions) ([]E2ECell, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.Telemetry = o.Telemetry
 			res, err := m.RunHFL(1)
 			if err != nil {
 				return nil, err

@@ -6,6 +6,7 @@ import (
 	"abdhfl"
 	"abdhfl/internal/core"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 // Fig3Options parameterises the Figure 3 convergence-curve regeneration.
@@ -16,6 +17,8 @@ type Fig3Options struct {
 	Dists     []string // nil -> {iid, noniid}
 	Attacks   []string // nil -> {type1, type2}
 	Fractions []float64
+	// Telemetry, if non-nil, accumulates every run's engine metrics.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Fig3Options) defaults() {
@@ -78,6 +81,7 @@ func RunFig3(o Fig3Options) ([]Fig3Series, error) {
 				if err != nil {
 					return nil, err
 				}
+				m.Telemetry = o.Telemetry
 				for system, fn := range map[string]func(uint64) (*core.Result, error){
 					"abdhfl":  m.RunHFL,
 					"vanilla": m.RunVanilla,

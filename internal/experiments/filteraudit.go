@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
+	"abdhfl/internal/topology"
+)
+
+// FilterAuditOptions parameterises RunFilterAudit — the empirical check of
+// the Theorem 2 tolerance story: join every aggregation's kept/discarded
+// contributor ids against the ground-truth attacker placement and report
+// per-level filter precision/recall for the Table V attack matrix.
+type FilterAuditOptions struct {
+	Rounds  int     // global rounds per run; 0 -> 20
+	Samples int     // samples per client; 0 -> 200
+	Frac    float64 // malicious fraction; 0 -> 0.3 (well inside the bound)
+	// Progress, if non-nil, receives one line per completed family.
+	Progress func(format string, args ...any)
+	// Telemetry, if non-nil, additionally accumulates engine metrics.
+	Telemetry *telemetry.Registry
+}
+
+func (o *FilterAuditOptions) defaults() {
+	if o.Rounds == 0 {
+		o.Rounds = 20
+	}
+	if o.Samples == 0 {
+		o.Samples = 200
+	}
+	if o.Frac == 0 {
+		o.Frac = 0.3
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+}
+
+// LevelScore tallies one tree level's filtering decisions against ground
+// truth. A contributor counts as malicious at the bottom level when the
+// device itself is Byzantine, and at upper levels when a strict majority of
+// the child cluster's leaf descendants is Byzantine (below that, the lower
+// level's own BRA is expected to have cleaned the partial model). Clipped
+// contributors count as flagged: the rule acted against them.
+type LevelScore struct {
+	Level          int
+	TP, FP, FN, TN int
+}
+
+// Precision is TP/(TP+FP): of the updates the filter acted against, how many
+// were actually malicious. 1 when nothing was flagged.
+func (s LevelScore) Precision() float64 {
+	if s.TP+s.FP == 0 {
+		return 1
+	}
+	return float64(s.TP) / float64(s.TP+s.FP)
+}
+
+// Recall is TP/(TP+FN): of the malicious updates presented, how many the
+// filter acted against. 1 when nothing malicious was presented.
+func (s LevelScore) Recall() float64 {
+	if s.TP+s.FN == 0 {
+		return 1
+	}
+	return float64(s.TP) / float64(s.TP+s.FN)
+}
+
+// FilterScorer accumulates filter decisions against a materialised
+// scenario's ground truth. Wire its Observe method into Materials.OnFilter
+// (or core.Config.OnFilter) and read Levels afterwards.
+type FilterScorer struct {
+	// Levels[l] is the running tally for tree level l (0 = top).
+	Levels []LevelScore
+	// truth[l] maps a contributor id seen at level l to its ground-truth
+	// maliciousness.
+	truth []map[int]bool
+}
+
+// NewFilterScorer derives the per-level ground truth from the tree and the
+// Byzantine placement.
+func NewFilterScorer(tree *topology.Tree, byzantine map[int]bool) *FilterScorer {
+	depth := tree.Depth()
+	fs := &FilterScorer{Levels: make([]LevelScore, depth), truth: make([]map[int]bool, depth)}
+	for l := range fs.Levels {
+		fs.Levels[l].Level = l
+	}
+	bottom := tree.Bottom()
+	fs.truth[bottom] = byzantine
+	for l := 0; l < bottom; l++ {
+		t := map[int]bool{}
+		for ci, c := range tree.Clusters[l+1] {
+			leaves := tree.LeafDescendants(l+1, ci)
+			byz := 0
+			for _, d := range leaves {
+				if byzantine[d] {
+					byz++
+				}
+			}
+			t[c.Leader] = 2*byz > len(leaves)
+		}
+		fs.truth[l] = t
+	}
+	return fs
+}
+
+// Observe scores one filter decision. Safe to pass directly as an OnFilter
+// callback; it only reads the reused id slices, never retains them.
+func (fs *FilterScorer) Observe(d telemetry.FilterDecision) {
+	if d.Level < 0 || d.Level >= len(fs.Levels) {
+		return
+	}
+	truth := fs.truth[d.Level]
+	s := &fs.Levels[d.Level]
+	for _, id := range d.Kept {
+		if truth[id] {
+			s.FN++
+		} else {
+			s.TN++
+		}
+	}
+	for _, ids := range [2][]int{d.Clipped, d.Discarded} {
+		for _, id := range ids {
+			if truth[id] {
+				s.TP++
+			} else {
+				s.FP++
+			}
+		}
+	}
+}
+
+// FilterAuditRow is one Table V family's audit: per-level scores plus the
+// run's final accuracy for context.
+type FilterAuditRow struct {
+	Family   Table5Family
+	Levels   []LevelScore
+	Accuracy float64
+}
+
+// FilterAuditResult is the full per-level precision/recall audit.
+type FilterAuditResult struct {
+	Options FilterAuditOptions
+	Rows    []FilterAuditRow
+	// Bound is the Theorem 2 tolerance of the default topology.
+	Bound float64
+}
+
+// RunFilterAudit runs one ABD-HFL round engine per Table V family with the
+// filter-audit callback attached and scores every aggregation's verdict
+// against the known attacker placement.
+func RunFilterAudit(o FilterAuditOptions) (*FilterAuditResult, error) {
+	o.defaults()
+	res := &FilterAuditResult{Options: o, Bound: abdhfl.TheoreticalBound(abdhfl.Scenario{})}
+	for _, fam := range Table5Families() {
+		s := abdhfl.Scenario{
+			Distribution:      fam.Distribution,
+			Aggregator:        fam.Aggregator,
+			Attack:            fam.Attack,
+			MaliciousFraction: o.Frac,
+			Rounds:            o.Rounds,
+			SamplesPerClient:  o.Samples,
+			EvalEvery:         o.Rounds,
+		}.WithDefaults()
+		m, err := abdhfl.Build(s)
+		if err != nil {
+			return nil, err
+		}
+		scorer := NewFilterScorer(m.Tree, m.Byzantine)
+		m.OnFilter = scorer.Observe
+		m.Telemetry = o.Telemetry
+		r, err := m.RunHFL(s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, FilterAuditRow{Family: fam, Levels: scorer.Levels, Accuracy: r.FinalAccuracy})
+		for _, ls := range scorer.Levels {
+			o.Progress("%-7s %-6s %-11s level=%d precision=%-7s recall=%-7s (tp=%d fp=%d fn=%d tn=%d)",
+				fam.Distribution, fam.Attack, fam.Aggregator, ls.Level,
+				metrics.Pct(ls.Precision()), metrics.Pct(ls.Recall()), ls.TP, ls.FP, ls.FN, ls.TN)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the audit with one row per (family, level).
+func (r *FilterAuditResult) Table() metrics.Table {
+	t := metrics.Table{Header: []string{
+		"distribution", "attack", "rule", "level", "precision", "recall", "tp", "fp", "fn", "tn",
+	}}
+	for _, row := range r.Rows {
+		for _, ls := range row.Levels {
+			t.AddRow(
+				string(row.Family.Distribution), string(row.Family.Attack), row.Family.Aggregator,
+				fmt.Sprintf("%d", ls.Level),
+				metrics.Pct(ls.Precision()), metrics.Pct(ls.Recall()),
+				fmt.Sprintf("%d", ls.TP), fmt.Sprintf("%d", ls.FP),
+				fmt.Sprintf("%d", ls.FN), fmt.Sprintf("%d", ls.TN),
+			)
+		}
+	}
+	return t
+}

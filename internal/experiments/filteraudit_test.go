@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"testing"
+
+	"abdhfl"
+	"abdhfl/internal/telemetry"
+)
+
+func TestFilterScorerObserve(t *testing.T) {
+	m, err := abdhfl.Build(abdhfl.Scenario{
+		Attack:            abdhfl.AttackType1,
+		MaliciousFraction: 0.25,
+		Rounds:            1,
+		SamplesPerClient:  30,
+	}.WithDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFilterScorer(m.Tree, m.Byzantine)
+	depth := m.Tree.Depth()
+	if len(fs.Levels) != depth || len(fs.truth) != depth {
+		t.Fatalf("levels = %d, truth = %d, want %d", len(fs.Levels), len(fs.truth), depth)
+	}
+	bottom := m.Tree.Bottom()
+
+	// Pick one malicious and one honest bottom-level device. The Byzantine
+	// map only records malicious ids, so honest means absent.
+	mal := -1
+	for id := range m.Byzantine {
+		mal = id
+		break
+	}
+	hon := 0
+	for m.Byzantine[hon] {
+		hon++
+	}
+	if mal < 0 {
+		t.Fatal("placement produced no malicious device")
+	}
+
+	fs.Observe(telemetry.FilterDecision{Level: bottom, Kept: []int{hon}, Discarded: []int{mal}})
+	fs.Observe(telemetry.FilterDecision{Level: bottom, Kept: []int{mal}, Clipped: []int{hon}})
+	got := fs.Levels[bottom]
+	if got.TP != 1 || got.FP != 1 || got.FN != 1 || got.TN != 1 {
+		t.Fatalf("bottom tally = %+v", got)
+	}
+	if got.Precision() != 0.5 || got.Recall() != 0.5 {
+		t.Fatalf("precision=%v recall=%v", got.Precision(), got.Recall())
+	}
+
+	// Out-of-range levels are ignored, empty levels score perfectly.
+	fs.Observe(telemetry.FilterDecision{Level: -1, Discarded: []int{mal}})
+	fs.Observe(telemetry.FilterDecision{Level: depth, Discarded: []int{mal}})
+	if s := fs.Levels[0]; s.TP+s.FP+s.FN+s.TN != 0 || s.Precision() != 1 || s.Recall() != 1 {
+		t.Fatalf("untouched level tally = %+v", s)
+	}
+}
+
+func TestRunFilterAuditSmoke(t *testing.T) {
+	reg := telemetry.New()
+	res, err := RunFilterAudit(FilterAuditOptions{
+		Rounds:    3,
+		Samples:   60,
+		Frac:      0.25,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := Table5Families()
+	if len(res.Rows) != len(fams) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(fams))
+	}
+	depth := 0
+	bottomTP := 0
+	for _, row := range res.Rows {
+		depth = len(row.Levels)
+		for _, ls := range row.Levels {
+			for _, v := range []float64{ls.Precision(), ls.Recall()} {
+				if v < 0 || v > 1 {
+					t.Fatalf("score out of range: %+v", ls)
+				}
+			}
+		}
+		bottom := row.Levels[len(row.Levels)-1]
+		if bottom.TP+bottom.FP+bottom.FN+bottom.TN == 0 {
+			t.Fatalf("bottom level saw no decisions: %+v", row)
+		}
+		bottomTP += bottom.TP
+	}
+	// With 25% prefix-placed poisoners, the BRA filters must catch at least
+	// some attackers across the four families.
+	if bottomTP == 0 {
+		t.Fatal("no true positives at the bottom level across all families")
+	}
+	if got := len(res.Table().Rows); got != len(fams)*depth {
+		t.Fatalf("table rows = %d, want %d", got, len(fams)*depth)
+	}
+	// The registry shared by every run must have seen the filter counters.
+	snap := reg.Snapshot()
+	kept := int64(0)
+	for name, v := range snap.Counters {
+		if name == `abdhfl_filter_kept_total{engine="hfl",level="2"}` {
+			kept = v
+		}
+	}
+	if kept == 0 {
+		t.Fatalf("telemetry kept counter empty; counters = %v", snap.Counters)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"abdhfl"
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/pipeline"
+	"abdhfl/internal/telemetry"
 )
 
 // DelayCase is one row of the paper's Table VIII: a combination of partial-
@@ -37,6 +38,8 @@ type FlagSweepOptions struct {
 	Rounds                        int // 0 -> 15
 	Samples                       int // 0 -> 80
 	Cases                         []DelayCase
+	// Telemetry, if non-nil, accumulates every run's engine metrics.
+	Telemetry *telemetry.Registry
 }
 
 func (o *FlagSweepOptions) defaults() {
@@ -82,6 +85,7 @@ func RunFlagSweep(o FlagSweepOptions) ([]FlagSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	mat.Telemetry = o.Telemetry
 	maxFlag := mat.Tree.Bottom() - 1
 	var out []FlagSweepRow
 	for _, dc := range o.Cases {

@@ -5,6 +5,7 @@ import (
 
 	"abdhfl"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 // SchemesOptions parameterises the Table III/IV scheme comparison.
@@ -15,6 +16,8 @@ type SchemesOptions struct {
 	Dist       string  // "" -> iid
 	Aggregator string  // "" -> multi-krum
 	Protocol   string  // "" -> voting
+	// Telemetry, if non-nil, accumulates every run's engine metrics.
+	Telemetry *telemetry.Registry
 }
 
 func (o *SchemesOptions) defaults() {
@@ -70,6 +73,7 @@ func RunSchemes(o SchemesOptions) ([]SchemeResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		m.Telemetry = o.Telemetry
 		res, err := m.RunHFL(1)
 		if err != nil {
 			return nil, err

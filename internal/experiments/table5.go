@@ -10,6 +10,7 @@ import (
 	"abdhfl"
 	"abdhfl/internal/core"
 	"abdhfl/internal/metrics"
+	"abdhfl/internal/telemetry"
 )
 
 // Table5Options parameterises the Table V regeneration.
@@ -20,6 +21,9 @@ type Table5Options struct {
 	Fractions []float64 // malicious proportions; nil -> the paper's nine
 	// Progress, if non-nil, receives one line per completed cell.
 	Progress func(format string, args ...any)
+	// Telemetry, if non-nil, accumulates every run's engine metrics (see
+	// internal/telemetry); typically telemetry.MaybeServe's registry.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Table5Options) defaults() {
@@ -103,6 +107,7 @@ func RunTable5(o Table5Options) (*Table5Result, error) {
 			if err != nil {
 				return nil, err
 			}
+			m.Telemetry = o.Telemetry
 			abd, err := abdhfl.Repeats("abd", o.Repeats, func(seed uint64) (*core.Result, error) {
 				return m.RunHFL(seed)
 			})

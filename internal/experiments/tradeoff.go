@@ -6,6 +6,7 @@ import (
 	"abdhfl"
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/pipeline"
+	"abdhfl/internal/telemetry"
 )
 
 // TradeoffOptions parameterises the flag-level trade-off study: the accuracy
@@ -16,6 +17,8 @@ type TradeoffOptions struct {
 	Rounds                        int // 0 -> 20
 	Samples                       int // 0 -> 100
 	Timing                        pipeline.Timing
+	// Telemetry, if non-nil, accumulates every run's engine metrics.
+	Telemetry *telemetry.Registry
 }
 
 func (o *TradeoffOptions) defaults() {
@@ -64,6 +67,7 @@ func RunTradeoff(o TradeoffOptions) ([]TradeoffRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	mat.Telemetry = o.Telemetry
 	var out []TradeoffRow
 	for fl := 0; fl <= mat.Tree.Bottom()-1; fl++ {
 		res, err := mat.RunPipeline(1, fl, o.Timing)

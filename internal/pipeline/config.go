@@ -18,6 +18,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/simnet"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/topology"
 )
 
@@ -148,6 +149,17 @@ type Config struct {
 	Seed uint64
 	// EvalEvery rounds between accuracy evaluations; zero selects 1.
 	EvalEvery int
+	// Telemetry, when non-nil, receives the run's metrics: completed-round
+	// counters, the σ_w/σ_p/σ_g/σ and ν distributions, stale-global
+	// staleness and merge counts, accuracy, consensus vote tallies, and
+	// per-level filter kept/clipped/discarded counts. Nil disables all
+	// instrumentation.
+	Telemetry *telemetry.Registry
+	// OnFilter, if non-nil, receives every aggregation step's filtering
+	// verdict (contributor ids kept/clipped/discarded per level, cluster,
+	// and round). The id slices are reused between calls; consumers must
+	// copy or reduce them before returning.
+	OnFilter func(telemetry.FilterDecision)
 	// Workers bounds the goroutines used for consensus validator scoring,
 	// test-set evaluation, and the robust-aggregation kernels (the
 	// simulation's event loop itself stays single-threaded and

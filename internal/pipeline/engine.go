@@ -38,6 +38,13 @@ type (
 	}
 )
 
+// TraceRound implements trace.RoundCarrier so simulator traces stamp message
+// events with their protocol round.
+func (m msgLocal) TraceRound() int   { return m.round }
+func (m msgPartial) TraceRound() int { return m.round }
+func (m msgFlag) TraceRound() int    { return m.round }
+func (m msgGlobal) TraceRound() int  { return m.round }
+
 // engine wires the actors together and accumulates statistics.
 type engine struct {
 	cfg   Config
@@ -67,9 +74,14 @@ type engine struct {
 	// vectors stay fresh per aggregation because message envelopes retain
 	// them.
 	aggScratch *aggregate.Scratch
-	quorumOf   func(size int) int
-	alpha      AlphaPolicy
-	done       bool
+	// ins/fe are the run's telemetry handles and filter-audit emitter; both
+	// are nil (and every call a no-op) when Config.Telemetry and OnFilter are
+	// unset. The single-threaded event loop lets one emitter serve all actors.
+	ins      *instruments
+	fe       *filterEmitter
+	quorumOf func(size int) int
+	alpha    AlphaPolicy
+	done     bool
 }
 
 func (e *engine) nodeOfCluster(l, i int) simnet.NodeID { return e.clusterNode[l][i] }
@@ -155,6 +167,7 @@ func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.
 		alpha := e.alpha.Alpha(staleness, d.relSize)
 		tensor.Lerp(out, out, g.params, alpha)
 		e.result.MergedGlobals++
+		e.ins.mergedGlobal(staleness)
 	}
 	d.pending = d.pending[:0]
 	d.training = false
@@ -177,17 +190,22 @@ type clusterActor struct {
 	parent    simnet.NodeID
 	children  []simnet.NodeID // child cluster actors, or member devices at the bottom
 	collected map[int][]tensor.Vector
-	closed    map[int]bool
-	isBottom  bool
+	// collectedIDs tracks, in lockstep with collected, each input's
+	// contributor id (device id at the bottom, child-cluster leader id
+	// above) so filter audits can name who was kept or discarded. Only
+	// maintained when the engine has a filter emitter.
+	collectedIDs map[int][]int
+	closed       map[int]bool
+	isBottom     bool
 }
 
 func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	e := a.e
 	switch m := msg.Payload.(type) {
 	case msgLocal:
-		a.receive(ctx, m.round, m.params)
+		a.receive(ctx, m.round, m.params, m.dev)
 	case msgPartial:
-		a.receive(ctx, m.round, m.params)
+		a.receive(ctx, m.round, m.params, e.tree.Clusters[a.cluster.Level+1][m.child].Leader)
 	case msgFlag:
 		// Cascade the flag model downwards (Alg. 5).
 		if a.isBottom {
@@ -212,7 +230,7 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	}
 }
 
-func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector) {
+func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector, from int) {
 	e := a.e
 	if a.closed[round] || round >= e.cfg.Rounds {
 		return
@@ -225,6 +243,9 @@ func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vec
 	}
 	first := len(a.collected[round]) == 0
 	a.collected[round] = append(a.collected[round], params)
+	if e.fe != nil {
+		a.collectedIDs[round] = append(a.collectedIDs[round], from)
+	}
 	if first && e.cfg.CollectTimeout > 0 {
 		// Algorithm 4's "until M >= φ*C or Timeout": arm the semi-synchronous
 		// deadline at the first arrival for this round.
@@ -246,7 +267,9 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 	e := a.e
 	a.closed[round] = true
 	vecs := a.collected[round]
+	ids := a.collectedIDs[round]
 	delete(a.collected, round)
+	delete(a.collectedIDs, round)
 	dur := e.aggDuration(a.cluster.Level, a.cluster.Index, round)
 	ctx.After(dur, func(ctx *simnet.Context) {
 		agg := tensor.NewVector(len(vecs[0]))
@@ -254,6 +277,7 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 			// A malformed quorum at runtime: drop the round for this cluster.
 			return
 		}
+		e.fe.emitAudit(a.cluster.Level, a.cluster.Index, round, ids)
 		ctx.SendVolume(a.parent, msgPartial{round: round, params: agg, child: a.cluster.Index}, int64(len(agg)))
 		if a.cluster.Level == e.cfg.FlagLevel {
 			flag := msgFlag{round: round + 1, params: agg, relSize: a.relSize()}
@@ -274,9 +298,12 @@ func (a *clusterActor) relSize() float64 {
 type topActor struct {
 	e         *engine
 	collected map[int][]tensor.Vector
-	closed    map[int]bool
-	children  []simnet.NodeID
-	completed int
+	// collectedIDs tracks each partial's contributor (its level-1 cluster
+	// leader id), in lockstep with collected; see clusterActor.collectedIDs.
+	collectedIDs map[int][]int
+	closed       map[int]bool
+	children     []simnet.NodeID
+	completed    int
 }
 
 func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
@@ -292,18 +319,23 @@ func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 		e.firstPartial[m.round] = ctx.Now()
 	}
 	t.collected[m.round] = append(t.collected[m.round], m.params)
+	if e.fe != nil {
+		t.collectedIDs[m.round] = append(t.collectedIDs[m.round], e.tree.Clusters[1][m.child].Leader)
+	}
 	if len(t.collected[m.round]) < e.quorumOf(e.tree.Top().Size()) {
 		return
 	}
 	t.closed[m.round] = true
 	vecs := t.collected[m.round]
+	ids := t.collectedIDs[m.round]
 	delete(t.collected, m.round)
+	delete(t.collectedIDs, m.round)
 	round := m.round
 	dur := e.aggDuration(0, 0, round)
-	ctx.After(dur, func(ctx *simnet.Context) { t.formGlobal(ctx, round, vecs) })
+	ctx.After(dur, func(ctx *simnet.Context) { t.formGlobal(ctx, round, vecs, ids) })
 }
 
-func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vector) {
+func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vector, ids []int) {
 	e := t.e
 	var global tensor.Vector
 	var err error
@@ -314,14 +346,22 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 			Rand:      e.root.Derive(fmt.Sprintf("vote-%d", round)),
 			Workers:   e.workers,
 		}
-		global, _, err = e.cfg.TopVoting.Agree(cctx, vecs)
+		var st consensus.Stats
+		global, st, err = e.cfg.TopVoting.Agree(cctx, vecs)
+		if err == nil {
+			e.fe.emitConsensus(0, 0, round, ids, e.cfg.TopVoting.Name(), st)
+		}
 	} else {
 		global = tensor.NewVector(len(vecs[0]))
 		err = e.cfg.TopBRA.AggregateInto(global, e.aggScratch, vecs)
+		if err == nil {
+			e.fe.emitAudit(0, 0, round, ids)
+		}
 	}
 	if err != nil {
 		return
 	}
+	e.ins.globalFormed()
 	e.globalReady[round] = ctx.Now()
 	e.evaluate(round, ctx.Now(), global)
 	gm := msgGlobal{round: round, params: global, formedAt: ctx.Now()}
@@ -362,6 +402,7 @@ func (e *engine) evaluate(round int, now simnet.Time, global tensor.Vector) {
 	}
 	e.evalModel.SetParams(global)
 	acc := nn.AccuracyWorkers(e.evalModel, e.cfg.TestData, e.workers)
+	e.ins.evalDone(acc)
 	e.result.Curve = append(e.result.Curve, RoundAccuracy{Round: round + 1, Time: now, Accuracy: acc})
 }
 
@@ -398,6 +439,9 @@ func Run(cfg Config) (*Result, error) {
 		workers:    cfg.Workers,
 		aggScratch: aggregate.NewScratch(cfg.Workers),
 	}
+	e.ins = newInstruments(cfg.Telemetry, tree.Depth())
+	e.fe = newFilterEmitter(e.ins, cfg.OnFilter)
+	e.fe.attach(e.aggScratch)
 	quorum := cfg.Quorum
 	if quorum == 0 {
 		quorum = 1
@@ -459,7 +503,7 @@ func Run(cfg Config) (*Result, error) {
 	for l := 0; l < tree.Depth(); l++ {
 		for i, c := range tree.Clusters[l] {
 			if l == 0 {
-				topA = &topActor{e: e, collected: map[int][]tensor.Vector{}, closed: map[int]bool{}}
+				topA = &topActor{e: e, collected: map[int][]tensor.Vector{}, collectedIDs: map[int][]int{}, closed: map[int]bool{}}
 				for _, ch := range tree.ChildClusters(0, 0) {
 					topA.children = append(topA.children, e.nodeOfCluster(1, ch.Index))
 				}
@@ -467,11 +511,12 @@ func Run(cfg Config) (*Result, error) {
 				continue
 			}
 			a := &clusterActor{
-				e:         e,
-				cluster:   c,
-				collected: map[int][]tensor.Vector{},
-				closed:    map[int]bool{},
-				isBottom:  l == bottom,
+				e:            e,
+				cluster:      c,
+				collected:    map[int][]tensor.Vector{},
+				collectedIDs: map[int][]int{},
+				closed:       map[int]bool{},
+				isBottom:     l == bottom,
 			}
 			if l == 1 {
 				a.parent = e.clusterNode[0][0]
@@ -574,11 +619,13 @@ func (e *engine) computeTimings() {
 			t.Nu = (t.SigmaP + t.SigmaG) / t.Sigma
 		}
 		e.result.Timings = append(e.result.Timings, t)
+		e.ins.roundTiming(t)
 		nuSum += t.Nu
 		nuCount++
 	}
 	sort.Slice(e.result.Timings, func(i, j int) bool { return e.result.Timings[i].Round < e.result.Timings[j].Round })
 	if nuCount > 0 {
 		e.result.MeanNu = nuSum / float64(nuCount)
+		e.ins.setMeanNu(e.result.MeanNu)
 	}
 }

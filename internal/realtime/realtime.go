@@ -23,6 +23,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
+	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
 )
@@ -61,6 +62,13 @@ type Config struct {
 	// Each aggregation's result is bit-identical for every value (what varies
 	// between realtime runs is quorum membership, not kernel arithmetic).
 	Workers int
+	// Telemetry, when non-nil, receives the run's metrics under
+	// engine="realtime": global rounds formed, accuracy, stale-global merge
+	// counts, consensus vote tallies, and per-level filter
+	// kept/clipped/discarded counts. All handles are atomic, so the
+	// concurrent leader goroutines feed them without extra locking. Nil
+	// disables instrumentation.
+	Telemetry *telemetry.Registry
 }
 
 // Validate reports configuration errors.
@@ -134,6 +142,90 @@ type envelope struct {
 	params tensor.Vector
 }
 
+// rtInstruments holds the run's telemetry handles. Every handle is backed by
+// atomics, so the concurrent device and leader goroutines record through one
+// shared instance; a nil *rtInstruments makes every method a no-op.
+type rtInstruments struct {
+	rounds   *telemetry.Counter
+	merges   *telemetry.Counter
+	accuracy *telemetry.Gauge
+	excluded *telemetry.Counter
+	votes    *telemetry.Histogram
+	kept     []*telemetry.Counter
+	clipped  []*telemetry.Counter
+	trimmed  []*telemetry.Counter
+}
+
+func newRTInstruments(reg *telemetry.Registry, levels int) *rtInstruments {
+	if reg == nil {
+		return nil
+	}
+	ins := &rtInstruments{
+		rounds:   reg.Counter(`abdhfl_rounds_total{engine="realtime"}`),
+		merges:   reg.Counter("abdhfl_realtime_merged_globals_total"),
+		accuracy: reg.Gauge(`abdhfl_accuracy{engine="realtime"}`),
+		excluded: reg.Counter(`abdhfl_consensus_excluded_total{engine="realtime"}`),
+		votes:    reg.Histogram(`abdhfl_consensus_votes{engine="realtime"}`, telemetry.LinearBuckets(0, 1, 17)),
+	}
+	for lvl := 0; lvl < levels; lvl++ {
+		suffix := fmt.Sprintf(`{engine="realtime",level="%d"}`, lvl)
+		ins.kept = append(ins.kept, reg.Counter("abdhfl_filter_kept_total"+suffix))
+		ins.clipped = append(ins.clipped, reg.Counter("abdhfl_filter_clipped_total"+suffix))
+		ins.trimmed = append(ins.trimmed, reg.Counter("abdhfl_filter_discarded_total"+suffix))
+	}
+	return ins
+}
+
+func (ins *rtInstruments) merged() {
+	if ins != nil {
+		ins.merges.Inc()
+	}
+}
+
+// attachAudit gives a leader-owned scratch its own FilterAudit (leaders run
+// concurrently, so audits are never shared) and reports whether auditing is on.
+func (ins *rtInstruments) attachAudit(s *aggregate.Scratch) bool {
+	if ins == nil {
+		return false
+	}
+	s.Audit = &aggregate.FilterAudit{}
+	return true
+}
+
+// recordAudit adds the scratch's last verdict tallies to the level's counters.
+func (ins *rtInstruments) recordAudit(level int, s *aggregate.Scratch) {
+	if ins == nil || s.Audit == nil || level >= len(ins.kept) {
+		return
+	}
+	k, c, t := s.Audit.Counts()
+	ins.kept[level].Add(int64(k))
+	ins.clipped[level].Add(int64(c))
+	ins.trimmed[level].Add(int64(t))
+}
+
+func (ins *rtInstruments) globalFormed(acc float64) {
+	if ins != nil {
+		ins.rounds.Inc()
+		ins.accuracy.Set(acc)
+	}
+}
+
+func (ins *rtInstruments) consensusStats(members int, st consensus.Stats) {
+	if ins == nil {
+		return
+	}
+	ins.excluded.Add(int64(len(st.Excluded)))
+	for _, v := range st.Votes {
+		ins.votes.Observe(float64(v))
+	}
+	// The voting verdict doubles as the top-level filter report: excluded
+	// proposals were discarded, the rest kept.
+	if len(ins.kept) > 0 {
+		ins.kept[0].Add(int64(members - len(st.Excluded)))
+		ins.trimmed[0].Add(int64(len(st.Excluded)))
+	}
+}
+
 // Run executes the protocol with real goroutines and blocks until the last
 // global round is formed and all actors have drained.
 func Run(cfg Config) (*Result, error) {
@@ -171,6 +263,7 @@ func Run(cfg Config) (*Result, error) {
 	done := make(chan struct{})
 	var merges sync.Mutex
 	mergeCount := 0
+	ins := newRTInstruments(cfg.Telemetry, tree.Depth())
 
 	result := &Result{RoundAccuracy: make([]float64, cfg.Rounds)}
 	var wg sync.WaitGroup
@@ -209,6 +302,7 @@ func Run(cfg Config) (*Result, error) {
 				merges.Lock()
 				mergeCount++
 				merges.Unlock()
+				ins.merged()
 			}
 			for round < cfg.Rounds {
 				// Train the current round.
@@ -309,6 +403,7 @@ func Run(cfg Config) (*Result, error) {
 				// Leader-owned aggregation scratch: leaders run concurrently,
 				// so the warm buffers must not be shared between goroutines.
 				aggScratch := aggregate.NewScratch(cfg.Workers)
+				ins.attachAudit(aggScratch)
 				for {
 					var env envelope
 					select {
@@ -334,6 +429,7 @@ func Run(cfg Config) (*Result, error) {
 						if err := cfg.PartialBRA.AggregateInto(agg, aggScratch, vecs); err != nil {
 							continue
 						}
+						ins.recordAudit(l, aggScratch)
 						out := envelope{kind: kPartial, round: env.round, params: agg}
 						select {
 						case parent <- out:
@@ -387,6 +483,7 @@ func Run(cfg Config) (*Result, error) {
 		closedRounds := map[int]bool{}
 		need := quorumOf(tree.Top().Size())
 		aggScratch := aggregate.NewScratch(cfg.Workers)
+		ins.attachAudit(aggScratch)
 		completed := 0
 		for completed < cfg.Rounds {
 			env := <-clusterInbox[0][0]
@@ -408,16 +505,24 @@ func Run(cfg Config) (*Result, error) {
 					Validator: validator,
 					Rand:      root.Derive(fmt.Sprintf("vote-%d", env.round)),
 				}
-				global, _, err = cfg.TopVoting.Agree(cctx, vecs)
+				var st consensus.Stats
+				global, st, err = cfg.TopVoting.Agree(cctx, vecs)
+				if err == nil {
+					ins.consensusStats(len(vecs), st)
+				}
 			} else {
 				global = tensor.NewVector(len(vecs[0]))
 				err = cfg.TopBRA.AggregateInto(global, aggScratch, vecs)
+				if err == nil {
+					ins.recordAudit(0, aggScratch)
+				}
 			}
 			if err != nil {
 				continue
 			}
 			evalModel.SetParams(global)
 			result.RoundAccuracy[env.round] = nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
+			ins.globalFormed(result.RoundAccuracy[env.round])
 			completed++
 			gm := envelope{kind: kGlobal, round: env.round, params: global}
 			for _, ch := range topChildren {

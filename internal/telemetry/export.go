@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// splitName separates a full series name into its base metric name and the
+// inner label list (without braces), e.g.
+//
+//	`m{a="1",b="2"}` -> ("m", `a="1",b="2"`)
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// promFloat renders a float in the Prometheus exposition format.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel appends one label pair to a series name's label set, yielding a
+// full sample name (used to splice `le` into histogram bucket lines).
+func withLabel(base, labels, extra string) string {
+	if labels == "" {
+		return base + "{" + extra + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+// suffixed renames a histogram series with a _sum/_count/_bucket suffix on
+// its base name, preserving labels.
+func suffixed(base, labels, suffix string) string {
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families in registration order, series
+// within a family in registration order. Histograms export cumulative
+// buckets plus _sum and _count, per the format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.visit(func(fam *family) {
+		pr("# TYPE %s %s\n", fam.base, fam.kind)
+		for _, s := range fam.series {
+			base, labels := splitName(s.name)
+			switch fam.kind {
+			case kindCounter:
+				pr("%s %d\n", s.name, s.c.Value())
+			case kindGauge:
+				pr("%s %s\n", s.name, promFloat(s.g.Value()))
+			case kindHistogram:
+				h := s.h
+				cum := int64(0)
+				for i, b := range h.bounds {
+					cum += h.buckets[i].Load()
+					pr("%s %d\n", withLabel(base+"_bucket", labels, `le="`+promFloat(b)+`"`), cum)
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				pr("%s %d\n", withLabel(base+"_bucket", labels, `le="+Inf"`), cum)
+				pr("%s %s\n", suffixed(base, labels, "_sum"), promFloat(h.Sum()))
+				pr("%s %d\n", suffixed(base, labels, "_count"), h.Count())
+			}
+		}
+	})
+	return err
+}
+
+// Bucket is one cumulative histogram bucket in a Snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound; +Inf marshals as
+	// the JSON string "+Inf".
+	UpperBound float64 `json:"le"`
+	// Count is the cumulative number of observations <= UpperBound.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the +Inf bound as a string, since JSON has no
+// infinity literal.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := promFloat(b.UpperBound)
+	return []byte(fmt.Sprintf(`{"le":%q,"count":%d}`, le, b.Count)), nil
+}
+
+// HistogramValue is a histogram's state in a Snapshot.
+type HistogramValue struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, keyed by
+// full series name. Under concurrent writers each individual value is
+// atomically read, but the snapshot as a whole is not a consistent cut.
+type Snapshot struct {
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{}
+	r.visit(func(fam *family) {
+		for _, s := range fam.series {
+			switch fam.kind {
+			case kindCounter:
+				if snap.Counters == nil {
+					snap.Counters = make(map[string]int64)
+				}
+				snap.Counters[s.name] = s.c.Value()
+			case kindGauge:
+				if snap.Gauges == nil {
+					snap.Gauges = make(map[string]float64)
+				}
+				snap.Gauges[s.name] = s.g.Value()
+			case kindHistogram:
+				if snap.Histograms == nil {
+					snap.Histograms = make(map[string]HistogramValue)
+				}
+				h := s.h
+				hv := HistogramValue{Count: h.Count(), Sum: h.Sum()}
+				cum := int64(0)
+				for i, b := range h.bounds {
+					cum += h.buckets[i].Load()
+					hv.Buckets = append(hv.Buckets, Bucket{UpperBound: b, Count: cum})
+				}
+				cum += h.buckets[len(h.bounds)].Load()
+				hv.Buckets = append(hv.Buckets, Bucket{UpperBound: math.Inf(1), Count: cum})
+				snap.Histograms[s.name] = hv
+			}
+		}
+	})
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

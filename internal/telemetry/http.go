@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Handler returns an http.Handler exposing the registry plus the standard
+// Go diagnostics:
+//
+//	/metrics       Prometheus text format
+//	/metrics.json  JSON snapshot
+//	/debug/vars    expvar (cmdline, memstats)
+//	/debug/pprof/  runtime profiles (cpu, heap, goroutine, trace, ...)
+//
+// Works on a nil registry too — the metric endpoints just serve empty
+// output, while the pprof/expvar endpoints stay fully functional.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "abdhfl telemetry\n\n/metrics\n/metrics.json\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve binds addr and serves Handler in a background goroutine, returning
+// the bound address (useful with a ":0" addr). The listener lives for the
+// remainder of the process; the experiment binaries are short-lived, so no
+// shutdown plumbing is offered.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// MaybeServe implements the cmd/ binaries' -telemetry-addr flag: with an
+// empty addr it returns nil (telemetry off); otherwise it creates a
+// registry, serves it on addr, and logs the endpoint to stderr. A bind
+// failure is fatal — an explicitly requested endpoint that silently fails
+// would defeat the point of asking for one.
+func MaybeServe(addr string) *Registry {
+	if addr == "" {
+		return nil
+	}
+	reg := New()
+	bound, err := reg.Serve(addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics (pprof under /debug/pprof/)\n", bound)
+	return reg
+}

@@ -1,0 +1,305 @@
+// Package telemetry is the repository's observability layer: a small
+// registry of counters, gauges, and fixed-bucket histograms designed for
+// the engines' hot paths. Updates are single atomic operations — no locks,
+// no allocations — so instrumentation can stay enabled inside per-round
+// loops without disturbing the zero-allocation discipline of the training
+// and aggregation kernels.
+//
+// Handles are nil-safe: every method on a nil *Counter, *Gauge, or
+// *Histogram is a no-op, and looking up a metric on a nil *Registry returns
+// a nil handle. Engines therefore instrument unconditionally; passing a nil
+// registry disables telemetry without a single branch at the call sites.
+//
+// Metric names follow the Prometheus exposition convention, with labels
+// baked into the name at registration time:
+//
+//	reg.Counter(`abdhfl_filter_kept_total{level="1"}`)
+//
+// Series sharing a base name (the part before '{') form one family and are
+// exported under a single TYPE header. Since label sets are fixed per call
+// site, engines resolve handles once and pay only the atomic update per
+// event.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// A Gauge is a float64 that can go up and down; it stores the value's IEEE
+// bits in a uint64 so Set/Value are single atomic operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// A Histogram counts observations into fixed buckets. Bounds are immutable
+// after registration; Observe is one atomic bucket increment plus a CAS
+// loop for the running sum, and never allocates.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; implicit +Inf bucket appended
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Bounds are short (tens of entries); linear scan beats binary search
+	// for typical sizes and stays branch-predictable for clustered samples.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// LinearBuckets returns count ascending bounds start, start+width, ...
+func LinearBuckets(start, width float64, count int) []float64 {
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start + width*float64(i)
+	}
+	return b
+}
+
+// ExpBuckets returns count ascending bounds start, start*factor, ...
+func ExpBuckets(start, factor float64, count int) []float64 {
+	b := make([]float64, count)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// DefSecondsBuckets is the default bound set for wall-clock phase
+// durations, spanning sub-millisecond kernels to multi-second rounds.
+var DefSecondsBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// metricKind discriminates the union held by one registered series.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered metric: a full name (labels included) plus
+// exactly one live handle.
+type series struct {
+	name string // full series name, e.g. `abdhfl_rounds_total{engine="hfl"}`
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// family groups the series sharing a base metric name; the Prometheus text
+// format requires them contiguous under one TYPE header.
+type family struct {
+	base   string
+	kind   metricKind
+	series []*series
+}
+
+// A Registry holds named metrics. Lookup methods are idempotent — the first
+// call registers, later calls with the same name return the same handle —
+// and safe for concurrent use. The zero value is ready; a nil *Registry is
+// a valid "telemetry off" registry whose lookups return nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family          // registration order, for stable export
+	byName   map[string]*series // full series name -> series
+	byBase   map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry { return &Registry{} }
+
+// baseName strips a trailing {label} block from a full series name.
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// lookup finds or creates the series for name with the given kind. It
+// panics on a kind conflict: reusing one name for two metric types is a
+// programming error no caller can meaningfully handle.
+func (r *Registry) lookup(name string, kind metricKind) *series {
+	fam := r.byBase[baseName(name)]
+	if fam == nil {
+		if r.byName == nil {
+			r.byName = make(map[string]*series)
+			r.byBase = make(map[string]*family)
+		}
+		fam = &family{base: baseName(name), kind: kind}
+		r.byBase[fam.base] = fam
+		r.families = append(r.families, fam)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: %q registered as %s, requested as %s", name, fam.kind, kind))
+	}
+	s := r.byName[name]
+	if s == nil {
+		s = &series{name: name}
+		r.byName[name] = s
+		fam.series = append(fam.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, kindCounter)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, kindGauge)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds on first use (later calls ignore bounds and
+// return the existing histogram). Bounds must be strictly ascending; nil
+// selects DefSecondsBuckets. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, kindHistogram)
+	if s.h == nil {
+		if bounds == nil {
+			bounds = DefSecondsBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+		s.h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return s.h
+}
+
+// visit calls fn for every family under the lock, in registration order.
+// The family slices are append-only, so fn may read them freely.
+func (r *Registry) visit(fn func(*family)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, fam := range r.families {
+		fn(fam)
+	}
+}

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// goldenRegistry builds the fixed registry behind the Prometheus golden
+// file. All observed values are exact binary fractions so the rendered sums
+// are platform-independent.
+func goldenRegistry() *Registry {
+	reg := New()
+	reg.Counter("abdhfl_rounds_total").Add(42)
+	reg.Counter(`abdhfl_filter_kept_total{level="1"}`).Add(7)
+	reg.Counter(`abdhfl_filter_kept_total{level="2"}`).Add(9)
+	reg.Gauge(`abdhfl_accuracy{engine="hfl"}`).Set(0.9375)
+	h := reg.Histogram("abdhfl_round_seconds", []float64{0.125, 0.5, 1})
+	h.Observe(0.0625)
+	h.Observe(0.375)
+	h.Observe(2)
+	hp := reg.Histogram(`abdhfl_phase_seconds{phase="train"}`, []float64{0.25})
+	hp.Observe(0.125)
+	hp.Observe(0.75)
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "prometheus.golden")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus output differs from %s:\ngot:\n%s\nwant:\n%s", path, buf.Bytes(), want)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	snap := goldenRegistry().Snapshot()
+	if got := snap.Counters["abdhfl_rounds_total"]; got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	if got := snap.Gauges[`abdhfl_accuracy{engine="hfl"}`]; got != 0.9375 {
+		t.Errorf("gauge = %v, want 0.9375", got)
+	}
+	hv, ok := snap.Histograms["abdhfl_round_seconds"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if hv.Count != 3 || hv.Sum != 2.4375 {
+		t.Errorf("histogram count/sum = %d/%v, want 3/2.4375", hv.Count, hv.Sum)
+	}
+	// Buckets are cumulative and end with +Inf covering every observation.
+	last := hv.Buckets[len(hv.Buckets)-1]
+	if !math.IsInf(last.UpperBound, 1) || last.Count != hv.Count {
+		t.Errorf("final bucket = %+v, want le=+Inf count=%d", last, hv.Count)
+	}
+	for i := 1; i < len(hv.Buckets); i++ {
+		if hv.Buckets[i].Count < hv.Buckets[i-1].Count {
+			t.Errorf("bucket counts not cumulative at %d: %+v", i, hv.Buckets)
+		}
+	}
+}
+
+// TestNilSafety pins the "telemetry off" contract: nil registries hand out
+// nil handles and every operation on them is a safe no-op.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil handles")
+	}
+	c.Add(1)
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if snap := reg.Snapshot(); snap.Counters != nil || snap.Gauges != nil || snap.Histograms != nil {
+		t.Error("nil registry snapshot must be empty")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil registry WritePrometheus = %v, %q", err, buf.String())
+	}
+}
+
+func TestIdempotentLookup(t *testing.T) {
+	reg := New()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("Counter lookup not idempotent")
+	}
+	if reg.Histogram("h", []float64{1, 2}) != reg.Histogram("h", nil) {
+		t.Error("Histogram lookup not idempotent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict must panic")
+		}
+	}()
+	reg.Gauge("x")
+}
+
+// TestConcurrentRecordSnapshot exercises concurrent writers against
+// concurrent exporters; run under -race this is the registry's
+// thread-safety proof.
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	reg := New()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for wID := 0; wID < writers; wID++ {
+		wg.Add(1)
+		go func(wID int) {
+			defer wg.Done()
+			// Half the writers share series; half register their own, so
+			// registration races with both lookup and export.
+			names := []string{"shared_total", `own_total{w="a"}`}
+			if wID%2 == 0 {
+				names[1] = `own_total{w="b"}`
+			}
+			for i := 0; i < perWriter; i++ {
+				reg.Counter(names[i%2]).Inc()
+				reg.Gauge("g").Set(float64(i))
+				reg.Histogram("h", []float64{10, 100, 1000}).Observe(float64(i % 2000))
+			}
+		}(wID)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			reg.Snapshot()
+			reg.WritePrometheus(io.Discard)
+		}
+	}()
+	wg.Wait()
+
+	snap := reg.Snapshot()
+	total := snap.Counters["shared_total"] + snap.Counters[`own_total{w="a"}`] + snap.Counters[`own_total{w="b"}`]
+	if want := int64(writers * perWriter); total != want {
+		t.Errorf("counter total = %d, want %d", total, want)
+	}
+	if h := snap.Histograms["h"]; h.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", h.Count, writers*perWriter)
+	}
+}
+
+// TestUpdateAllocs pins the hot-path contract: once a handle exists,
+// recording costs zero allocations.
+func TestUpdateAllocs(t *testing.T) {
+	reg := New()
+	c := reg.Counter("c")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h", DefSecondsBuckets)
+	if n := testing.AllocsPerRun(100, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Set(1.5) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.3) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+}

@@ -23,8 +23,10 @@ type Event struct {
 	// From/To identify the nodes involved (-1 when not applicable).
 	From int `json:"from"`
 	To   int `json:"to"`
-	// Round is the global round, -1 when not applicable.
-	Round int `json:"round,omitempty"`
+	// Round is the global round, -1 when not applicable. Serialised without
+	// omitempty: round 0 is a real round and must stay distinguishable from
+	// the -1 sentinel in JSONL output.
+	Round int `json:"round"`
 	// Detail is free-form context (payload type, rule name, ...).
 	Detail string `json:"detail,omitempty"`
 }
@@ -86,11 +88,14 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// CountByKind returns event counts keyed by Kind.
+// CountByKind returns event counts keyed by Kind. It counts under the lock
+// rather than copying the full event slice.
 func (r *Recorder) CountByKind() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	out := map[string]int{}
-	for _, ev := range r.Events() {
-		out[ev.Kind]++
+	for i := range r.events {
+		out[r.events[i].Kind]++
 	}
 	return out
 }
@@ -113,17 +118,27 @@ func (r *Recorder) Summary() string {
 	return out
 }
 
+// RoundCarrier is implemented by message payloads that belong to a protocol
+// round; SimnetHook uses it to stamp message events with their round.
+type RoundCarrier interface {
+	TraceRound() int
+}
+
 // SimnetHook adapts a Recorder to the simulator's Trace callback: every
 // delivered message becomes a "message" event with the payload's dynamic
-// type as detail.
+// type as detail and, when the payload implements RoundCarrier, its round.
 func SimnetHook(rec *Recorder) func(simnet.Message) {
 	return func(m simnet.Message) {
+		round := -1
+		if rc, ok := m.Payload.(RoundCarrier); ok {
+			round = rc.TraceRound()
+		}
 		rec.Record(Event{
 			Time:   float64(m.At),
 			Kind:   "message",
 			From:   int(m.From),
 			To:     int(m.To),
-			Round:  -1,
+			Round:  round,
 			Detail: fmt.Sprintf("%T", m.Payload),
 		})
 	}

@@ -94,6 +94,23 @@ func TestConcurrentRecording(t *testing.T) {
 	}
 }
 
+func TestRoundZeroSerialized(t *testing.T) {
+	var r Recorder
+	r.Record(Event{Kind: "message", Round: 0})
+	r.Record(Event{Kind: "message", Round: -1})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.Contains(lines[0], `"round":0`) {
+		t.Fatalf("round 0 dropped from JSONL: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"round":-1`) {
+		t.Fatalf("sentinel round missing: %q", lines[1])
+	}
+}
+
 type echo struct{}
 
 func (echo) OnMessage(ctx *simnet.Context, msg simnet.Message) {}
@@ -113,5 +130,31 @@ func TestSimnetHook(t *testing.T) {
 	ev := rec.Events()[0]
 	if ev.Kind != "message" || ev.To != 1 || ev.Time != 2 || ev.Detail != "string" {
 		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Round != -1 {
+		t.Fatalf("payload without a round should record -1, got %d", ev.Round)
+	}
+}
+
+type roundPayload struct{ round int }
+
+func (p roundPayload) TraceRound() int { return p.round }
+
+func TestSimnetHookRoundCarrier(t *testing.T) {
+	var rec Recorder
+	s := simnet.New(simnet.Fixed(1), rng.New(1))
+	s.Trace = SimnetHook(&rec)
+	s.Register(1, echo{})
+	s.Inject(1, roundPayload{round: 0})
+	s.Inject(1, roundPayload{round: 7})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events", len(evs))
+	}
+	if evs[0].Round != 0 || evs[1].Round != 7 {
+		t.Fatalf("rounds = %d, %d", evs[0].Round, evs[1].Round)
 	}
 }
