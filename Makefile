@@ -12,7 +12,10 @@ vet:
 	$(GO) vet ./...
 
 # race exercises the parallel evaluation and consensus-validation fan-out
-# under the race detector; the engines must stay clean for every worker count.
+# under the race detector, plus the realtime engine's crash/churn fault
+# regressions (a crashed member must never deadlock its leader) and the
+# chaostest invariant sweeps; the engines must stay clean for every worker
+# count and under every fault plan.
 race:
 	$(GO) test -race ./...
 

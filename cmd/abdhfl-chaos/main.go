@@ -1,0 +1,87 @@
+// Command abdhfl-chaos runs the fault-injection resilience matrix: every
+// aggregation scheme crossed with a ladder of fault intensities (message
+// loss, duplication, reordering, mid-run crashes, transient churn), all on
+// the asynchronous pipeline engine with quorum-φ collection and Algorithm
+// 4's timeout branch absorbing the failures. Per cell it reports final
+// accuracy, rounds completed, rounds-to-converge, the pipeline-efficiency
+// indicator ν, and the degradation tallies (sub-quorum closes, abandoned
+// collections, dropped and duplicated messages).
+//
+// Every number is a pure function of -seed: running the command twice
+// produces byte-identical output, which is what makes chaos results
+// reportable and diffable (results_chaos.txt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"abdhfl/internal/experiments"
+	"abdhfl/internal/telemetry"
+)
+
+func main() {
+	var (
+		levels  = flag.Int("levels", 3, "tree depth")
+		m       = flag.Int("m", 4, "cluster size")
+		top     = flag.Int("top", 4, "top-level node count")
+		rounds  = flag.Int("rounds", 20, "global rounds")
+		samples = flag.Int("samples", 80, "samples per client")
+		seed    = flag.Uint64("seed", 1, "seed for data, schedule, and fault plans")
+		flagLvl = flag.Int("flag", 1, "flag level ℓ_F for all runs")
+		quorum  = flag.Float64("quorum", 0.75, "collection quorum φ")
+		mal     = flag.Float64("malicious", 0.25, "Type I poisoning fraction under the faults (0 for a clean population)")
+		rates   = flag.String("rates", "0,0.1,0.2,0.3", "comma-separated fault intensities")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
+	)
+	flag.Parse()
+
+	var faultRates []float64
+	for _, tok := range strings.Split(*rates, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -rates entry %q: %w", tok, err))
+		}
+		faultRates = append(faultRates, r)
+	}
+
+	malicious := *mal
+	if malicious == 0 {
+		malicious = -1 // ChaosOptions: negative selects a clean population
+	}
+	fmt.Printf("Chaos matrix — fault rate x scheme, %d rounds, quorum %.2f, flag level %d, %.0f%% poisoned, seed %d\n\n",
+		*rounds, *quorum, *flagLvl, *mal*100, *seed)
+	results, err := experiments.RunChaos(experiments.ChaosOptions{
+		Levels:      *levels,
+		ClusterSize: *m,
+		TopNodes:    *top,
+		Rounds:      *rounds,
+		Samples:     *samples,
+		Seed:        *seed,
+		FlagLevel:   *flagLvl,
+		Quorum:      *quorum,
+		Malicious:   malicious,
+		FaultRates:  faultRates,
+		Telemetry:   telemetry.MaybeServe(*taddr),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.ChaosTable(results).Render())
+	fmt.Println("\nAt rate 0 every scheme completes all rounds at full quorum, so the rows")
+	fmt.Println("isolate pure aggregation robustness against the poisoned fraction. As the")
+	fmt.Println("rate rises, sub-quorum closes and abandoned collections absorb the injected")
+	fmt.Println("loss, crashes, and churn: runs keep terminating and rounds — not models —")
+	fmt.Println("are what degrade. Accuracy need not fall monotonically with the rate,")
+	fmt.Println("because transport loss also thins the poisoned uploads and dropped global")
+	fmt.Println("broadcasts reduce the correction-factor drag of Eq. (1).")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abdhfl-chaos:", err)
+	os.Exit(1)
+}

@@ -136,7 +136,9 @@ func runPipeline(mat *abdhfl.Materials, flagLevel int) {
 	fmt.Printf("mean nu         %.3f\n", res.MeanNu)
 	fmt.Printf("virtual time    %.0f ms\n", float64(res.Duration))
 	fmt.Printf("merges          %d\n", res.MergedGlobals)
-	fmt.Printf("network         %d msgs / %d volume\n", res.Network.Messages, res.Network.Volume)
+	fmt.Printf("network         %d msgs / %d volume / %d dropped / %d dup / %d unregistered\n",
+		res.Network.Messages, res.Network.Volume,
+		res.Network.Dropped, res.Network.Duplicated, res.Network.DroppedUnregistered)
 }
 
 func runRealtime(mat *abdhfl.Materials, flagLevel int) {

@@ -22,6 +22,22 @@ import (
 // ErrNoUpdates is returned when an aggregation rule receives zero updates.
 var ErrNoUpdates = errors.New("aggregate: no updates to aggregate")
 
+// ErrNonFinite is returned when a rule's arithmetic overflows to NaN or ±Inf
+// even though every input was finite (e.g. averaging values near the float64
+// range limit). Callers treat it like any other malformed-quorum error: the
+// aggregation is rejected rather than poisoning the model with non-finite
+// parameters.
+var ErrNonFinite = errors.New("aggregate: aggregation overflowed to non-finite values")
+
+// finiteOut is every rule's success-path postcondition: an aggregation that
+// returns nil must have written only finite values into dst.
+func finiteOut(dst tensor.Vector) error {
+	if !tensor.AllFinite(dst) {
+		return ErrNonFinite
+	}
+	return nil
+}
+
 // Aggregator combines parameter vectors into one. Implementations must not
 // modify the input vectors.
 type Aggregator interface {
@@ -93,7 +109,7 @@ func (a Mean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tenso
 		// Plain averaging filters nothing: every update is kept.
 		aud.begin(a.Name(), len(updates))
 	}
-	return nil
+	return finiteOut(dst)
 }
 
 // Median is the coordinate-wise median rule of Yin et al. (2018).
@@ -120,7 +136,7 @@ func (a Median) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 		// The median keeps rank (n-1)/2, or the two middle ranks for even n.
 		aud.recordCoordinates(updates, (n-1)/2, n/2)
 	}
-	return nil
+	return finiteOut(dst)
 }
 
 // TrimmedMean is the coordinate-wise trimmed mean of Yin et al. (2018),
@@ -160,7 +176,7 @@ func (a TrimmedMean) AggregateInto(dst tensor.Vector, scratch *Scratch, updates 
 		aud.begin("trimmed-mean", n)
 		aud.recordCoordinates(updates, trim, n-1-trim)
 	}
-	return nil
+	return finiteOut(dst)
 }
 
 // GeoMed aggregates by the geometric median (Chen et al. 2017), computed via
@@ -203,5 +219,5 @@ func (a GeoMed) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 		tensor.DistancesWS(dists, dst, updates, s.Workers)
 		aud.recordGeoMedWeights(dists)
 	}
-	return nil
+	return finiteOut(dst)
 }

@@ -101,7 +101,7 @@ func (a Bulyan) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []ten
 		chosen[i] = updates[idx]
 	}
 	tensor.CoordinateNearMedianMeanWS(dst, chosen, beta, s.columns(len(chosen)), s.Workers)
-	return nil
+	return finiteOut(dst)
 }
 
 func init() {

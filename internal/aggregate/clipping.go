@@ -76,7 +76,7 @@ func (a CenteredClipping) AggregateInto(dst tensor.Vector, scratch *Scratch, upd
 		}
 		tensor.CenteredStepWS(dst, updates, scales, s.Workers)
 	}
-	return nil
+	return finiteOut(dst)
 }
 
 // CosineClustering follows the clustered-FL defence of Sattler et al.
@@ -151,7 +151,7 @@ func (a CosineClustering) AggregateInto(dst tensor.Vector, scratch *Scratch, upd
 		}
 	}
 	tensor.MeanWS(dst, chosen, s.Workers)
-	return nil
+	return finiteOut(dst)
 }
 
 // labelsInto performs single-linkage clustering into s.labels: i and j share

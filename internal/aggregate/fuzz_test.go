@@ -1,0 +1,104 @@
+package aggregate
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"abdhfl/internal/tensor"
+)
+
+// fuzzRules is every aggregation rule under the fuzz contract: malformed
+// quorums (NaN/Inf coordinates, duplicated updates, boundary counts like
+// n = f+1) must produce an error, never a panic, and a successful
+// aggregation must be entirely finite.
+func fuzzRules() []Aggregator {
+	return []Aggregator{
+		Mean{},
+		Median{},
+		TrimmedMean{TrimFraction: 0.25},
+		GeoMed{},
+		Krum{FFraction: 0.25, M: 1},
+		NewMultiKrum(0.25),
+		Bulyan{FFraction: 0.25},
+		CenteredClipping{Tau: 10, Iterations: 3},
+		CosineClustering{MinSimilarity: 0.1},
+		NormBound{Factor: 2},
+	}
+}
+
+// decodeUpdates splits raw bytes into num equal-dimension float64 vectors.
+// The encoding is little-endian IEEE 754, eight bytes per coordinate — so
+// the fuzzer mutates straight through bit patterns like NaN, ±Inf, and
+// subnormals.
+func decodeUpdates(raw []byte, num int) []tensor.Vector {
+	vals := len(raw) / 8
+	if num <= 0 || vals == 0 {
+		return nil
+	}
+	dim := vals / num
+	if dim == 0 {
+		return nil
+	}
+	updates := make([]tensor.Vector, num)
+	for i := range updates {
+		v := tensor.NewVector(dim)
+		for j := range v {
+			off := (i*dim + j) * 8
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off : off+8]))
+		}
+		updates[i] = v
+	}
+	return updates
+}
+
+func FuzzAggregateInto(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	// Seeds cover the interesting regimes: a healthy quorum, NaN and ±Inf
+	// coordinates, exact duplicates, a single update (the n = f+1 boundary
+	// for Krum at f = 0), and huge-magnitude values that can overflow
+	// intermediate norms.
+	f.Add(le(1, 2, 3, 4, 5, 6), uint8(3))
+	f.Add(le(1, nan, 3, 4), uint8(2))
+	f.Add(le(inf, -1, 2, 0.5), uint8(2))
+	f.Add(le(1, 1, 1, 1, 1, 1), uint8(3))
+	f.Add(le(0.25, -0.25), uint8(1))
+	f.Add(le(1e308, 1e308, -1e308, -1e308), uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add(le(1, 2, 3), uint8(5)) // more updates than values: zero dim
+
+	f.Fuzz(func(t *testing.T, raw []byte, n uint8) {
+		updates := decodeUpdates(raw, int(n%8)+1)
+		if updates == nil {
+			return
+		}
+		dim := len(updates[0])
+		dst := tensor.NewVector(dim)
+		for _, rule := range fuzzRules() {
+			err := rule.AggregateInto(dst, nil, updates)
+			if err != nil {
+				continue // malformed input must error, and did
+			}
+			if !tensor.AllFinite(dst) {
+				t.Fatalf("%s produced non-finite output from %d updates of dim %d",
+					rule.Name(), len(updates), dim)
+			}
+			// The legacy form must agree on validity.
+			out, err := rule.Aggregate(updates)
+			if err != nil {
+				t.Fatalf("%s: AggregateInto succeeded but Aggregate errored: %v", rule.Name(), err)
+			}
+			if !tensor.AllFinite(out) {
+				t.Fatalf("%s: Aggregate produced non-finite output", rule.Name())
+			}
+		}
+	})
+}

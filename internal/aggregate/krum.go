@@ -109,7 +109,7 @@ func (a Krum) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []tenso
 		chosen[i] = updates[order[i]]
 	}
 	tensor.MeanWS(dst, chosen, s.Workers)
-	return nil
+	return finiteOut(dst)
 }
 
 // krumOrderWS fills s.order with the update indices sorted by ascending Krum

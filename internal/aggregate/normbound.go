@@ -56,7 +56,7 @@ func (a NormBound) AggregateInto(dst tensor.Vector, scratch *Scratch, updates []
 		aud.recordScales(scales)
 	}
 	tensor.ScaledMeanWS(dst, updates, scales, s.Workers)
-	return nil
+	return finiteOut(dst)
 }
 
 func init() {

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chaosSmokeOptions() ChaosOptions {
+	return ChaosOptions{
+		Levels:      3,
+		ClusterSize: 2,
+		TopNodes:    2,
+		Rounds:      3,
+		Samples:     40,
+		Seed:        3,
+		FaultRates:  []float64{0, 0.2},
+	}
+}
+
+func TestRunChaosSmoke(t *testing.T) {
+	res, err := RunChaos(chaosSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemes := ChaosSchemes()
+	if len(res) != 2*len(schemes) {
+		t.Fatalf("cells = %d, want %d", len(res), 2*len(schemes))
+	}
+	for i, r := range res {
+		if r.Scheme != schemes[i%len(schemes)].Name {
+			t.Fatalf("cell %d scheme = %q", i, r.Scheme)
+		}
+		if r.CompletedRounds <= 0 {
+			t.Fatalf("cell %d completed no rounds: %+v", i, r)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("cell %d accuracy = %v", i, r.Accuracy)
+		}
+		if r.FaultRate == 0 && (r.Dropped != 0 || r.Duplicated != 0) {
+			t.Fatalf("fault-free cell %d has transport faults: %+v", i, r)
+		}
+	}
+	table := ChaosTable(res).Render()
+	if !strings.Contains(table, "mkrum/voting") || !strings.Contains(table, "sub-quorum") {
+		t.Fatalf("table missing expected columns:\n%s", table)
+	}
+}
+
+// TestRunChaosDeterministic pins the matrix's reproducibility contract: the
+// same options yield the same cells, which is what makes the rendered
+// results_chaos.txt diffable across machines and runs.
+func TestRunChaosDeterministic(t *testing.T) {
+	a, err := RunChaos(chaosSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(chaosSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

@@ -16,9 +16,11 @@ import (
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
+	"abdhfl/internal/fault"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/simnet"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
 )
 
@@ -117,7 +119,28 @@ type Config struct {
 	// semi-synchronous regime of SHFL): a leader that has waited this many
 	// virtual ms since its first arrival for a round aggregates whatever it
 	// holds, even below the quorum. Zero disables timeouts (pure quorum).
+	//
+	// When Faults are enabled, leaders additionally arm the deadline as soon
+	// as they learn a round exists (forwarding its flag model), so a leader
+	// whose inputs are ALL lost still makes progress instead of waiting for
+	// a first arrival that never comes.
 	CollectTimeout float64
+	// TimeoutBackoff multiplies the collect deadline on every empty expiry
+	// (a deadline that fires with zero inputs re-arms rather than closing
+	// the round). Zero selects 2; values below 1 are rejected.
+	TimeoutBackoff float64
+	// TimeoutRetries bounds how many times an empty deadline re-arms before
+	// the leader abandons the round's collection (degraded operation: the
+	// level above proceeds without this subtree). Zero selects 3.
+	TimeoutRetries int
+
+	// Faults, when non-nil and non-empty, injects the plan's failures into
+	// the run: transport faults (drop/duplicate/reorder) at the simulator
+	// layer, crash/churn/omission at the device layer, and leader failures
+	// at the cluster layer. Leaders deduplicate contributions per round, so
+	// duplicated messages can never double-fill a quorum. Same seed, same
+	// plan -> bit-identical run.
+	Faults *fault.Plan
 
 	Local  nn.TrainConfig
 	Hidden []int
@@ -209,6 +232,12 @@ func (c *Config) Validate() error {
 	if c.Quorum < 0 || c.Quorum > 1 {
 		return fmt.Errorf("pipeline: Quorum %v out of [0,1]", c.Quorum)
 	}
+	if c.TimeoutBackoff != 0 && c.TimeoutBackoff < 1 {
+		return fmt.Errorf("pipeline: TimeoutBackoff %v below 1", c.TimeoutBackoff)
+	}
+	if c.TimeoutRetries < 0 {
+		return fmt.Errorf("pipeline: TimeoutRetries %d negative", c.TimeoutRetries)
+	}
 	return nil
 }
 
@@ -254,11 +283,30 @@ type Result struct {
 	Timings       []RoundTiming
 	// MeanNu is the average efficiency indicator across measured rounds.
 	MeanNu float64
-	// Duration is the virtual time at which the last global round completed.
+	// Duration is the virtual time at which the last completed global round
+	// formed (or, for a faulted run that stalled, the drain time).
 	Duration simnet.Time
-	// Network reports total traffic.
+	// Network reports total traffic, including fault-layer drop/duplicate
+	// counts and deliveries lost to unregistered (crashed) nodes.
 	Network simnet.Stats
 	// MergedGlobals counts stale-global merges performed by devices
 	// (correction-factor applications).
 	MergedGlobals int
+	// CompletedRounds is the number of global rounds actually formed. It
+	// equals the configured Rounds on a fault-free run; under injected
+	// faults the protocol may legitimately finish fewer (degraded rounds
+	// abandoned at every level starve the top).
+	CompletedRounds int
+	// SubQuorum counts aggregations (any level, top included) that closed
+	// below the quorum via the collect timeout — Algorithm 4's "or Timeout"
+	// branch actually taken.
+	SubQuorum int
+	// Abandoned counts (cluster, round) collections given up after the
+	// timeout-with-backoff retries expired with zero inputs.
+	Abandoned int
+	// Omitted counts uploads withheld by omission-Byzantine devices.
+	Omitted int
+	// FinalParams is the last formed global model's parameter vector; nil
+	// when no round completed. Exposed for cross-engine equivalence checks.
+	FinalParams tensor.Vector
 }

@@ -7,6 +7,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/consensus"
+	"abdhfl/internal/fault"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/simnet"
@@ -82,6 +83,26 @@ type engine struct {
 	quorumOf func(size int) int
 	alpha    AlphaPolicy
 	done     bool
+	// plan is the run's fault plan (nil-safe: every query on a nil plan
+	// reports "no fault"). faulty gates the extra liveness machinery —
+	// flag-armed deadlines — that only faulted runs need.
+	plan    *fault.Plan
+	faulty  bool
+	backoff float64
+	retries int
+}
+
+// subQuorum records one degraded aggregation (timeout closed a round below
+// quorum).
+func (e *engine) subQuorum() {
+	e.result.SubQuorum++
+	e.ins.subQuorum()
+}
+
+// abandoned records one collection given up with zero inputs.
+func (e *engine) abandoned() {
+	e.result.Abandoned++
+	e.ins.abandoned()
 }
 
 func (e *engine) nodeOfCluster(l, i int) simnet.NodeID { return e.clusterNode[l][i] }
@@ -117,6 +138,7 @@ type deviceActor struct {
 	curRound    int
 	stashedFlag *msgFlag
 	pending     []msgGlobal
+	seenGlobal  map[int]bool
 	model       *nn.Model
 	ws          *nn.Workspace
 }
@@ -124,7 +146,7 @@ type deviceActor struct {
 func (d *deviceActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	switch m := msg.Payload.(type) {
 	case msgFlag:
-		if m.round >= d.e.cfg.Rounds {
+		if m.round >= d.e.cfg.Rounds || d.e.plan.DeviceDown(d.id, m.round) {
 			return
 		}
 		if d.training {
@@ -134,17 +156,28 @@ func (d *deviceActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 			}
 			return
 		}
-		if m.round > d.curRound || (m.round == 0 && !d.training) {
+		if m.round > d.curRound {
 			d.start(ctx, m.round, m.params, m.relSize)
 		}
 	case msgGlobal:
 		// Stale global: merged into the in-progress local model at training
-		// completion (Alg. 2 line 16-18).
+		// completion (Alg. 2 line 16-18). A down device processes nothing, and
+		// a duplicated delivery must not be merged twice — Eq. (1)'s merge is
+		// once per formed global.
+		if d.e.plan.DeviceDown(d.id, m.round) || d.seenGlobal[m.round] {
+			return
+		}
+		d.seenGlobal[m.round] = true
 		d.pending = append(d.pending, m)
 	}
 }
 
 func (d *deviceActor) start(ctx *simnet.Context, round int, params tensor.Vector, relSize float64) {
+	if d.e.plan.DeviceDown(d.id, round) {
+		// Crash (fail-stop) or churn interval: the round is skipped. Churned
+		// devices resume at the next flag model after their interval ends.
+		return
+	}
 	d.training = true
 	d.curRound = round
 	d.relSize = relSize
@@ -156,13 +189,23 @@ func (d *deviceActor) start(ctx *simnet.Context, round int, params tensor.Vector
 func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.Vector) {
 	e := d.e
 	d.model.SetParams(startParams)
-	r := e.root.Derive(fmt.Sprintf("sgd-%d-%d", d.id, round))
+	// The SGD stream is derived exactly as in the synchronous core engine
+	// (root -> "round-R" -> "device-D"), so a zero-latency, zero-fault
+	// pipeline run is bit-identical to core.RunHFL on the same seed.
+	r := e.root.Derive(fmt.Sprintf("round-%d", round)).Derive(fmt.Sprintf("device-%d", d.id))
 	nn.SGDWS(d.model, d.ws, e.cfg.ClientData[d.id], e.cfg.Local, r)
 	// The update is sent as a message and retained by collectors, so it must
 	// be a fresh vector (no buffer reuse here, unlike the round engine).
 	out := d.model.Params()
 	// Correction-factor merges for globals that arrived during training.
 	for _, g := range d.pending {
+		if e.cfg.FlagLevel == 0 && g.round < round {
+			// With ℓF = 0 the flag model IS the global model, so a global
+			// formed before this round's flag is already this round's start
+			// parameters; merging it again would just drag the trained model
+			// back toward its own starting point.
+			continue
+		}
 		staleness := float64(ctx.Now() - g.formedAt)
 		alpha := e.alpha.Alpha(staleness, d.relSize)
 		tensor.Lerp(out, out, g.params, alpha)
@@ -171,7 +214,14 @@ func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.
 	}
 	d.pending = d.pending[:0]
 	d.training = false
-	ctx.SendVolume(e.deviceLeader[d.id], msgLocal{round: round, params: out, dev: d.id}, int64(len(out)))
+	if e.plan.OmitUpload(d.id, round) {
+		// Omission-Byzantine: train, receive, but silently withhold the
+		// upload. The leader's quorum/timeout machinery must absorb it.
+		e.result.Omitted++
+		e.ins.omitted()
+	} else {
+		ctx.SendVolume(e.deviceLeader[d.id], msgLocal{round: round, params: out, dev: d.id}, int64(len(out)))
+	}
 	if d.stashedFlag != nil {
 		f := *d.stashedFlag
 		d.stashedFlag = nil
@@ -195,18 +245,39 @@ type clusterActor struct {
 	// above) so filter audits can name who was kept or discarded. Only
 	// maintained when the engine has a filter emitter.
 	collectedIDs map[int][]int
-	closed       map[int]bool
-	isBottom     bool
+	// seen deduplicates contributions per round: the fault layer can
+	// duplicate messages, and a duplicated upload must never count twice
+	// toward the quorum.
+	seen   map[int]map[int]bool
+	closed map[int]bool
+	// armed tracks rounds whose collect deadline is already scheduled.
+	armed    map[int]bool
+	isBottom bool
+}
+
+// failed reports whether this cluster's leader is fault-planned down for
+// round: it then neither collects nor forwards anything.
+func (a *clusterActor) failed(round int) bool {
+	return a.e.plan.LeaderFailed(a.cluster.Level, a.cluster.Index, round)
 }
 
 func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	e := a.e
 	switch m := msg.Payload.(type) {
 	case msgLocal:
+		if a.failed(m.round) {
+			return
+		}
 		a.receive(ctx, m.round, m.params, m.dev)
 	case msgPartial:
+		if a.failed(m.round) {
+			return
+		}
 		a.receive(ctx, m.round, m.params, e.tree.Clusters[a.cluster.Level+1][m.child].Leader)
 	case msgFlag:
+		if a.failed(m.round) {
+			return
+		}
 		// Cascade the flag model downwards (Alg. 5).
 		if a.isBottom {
 			bi := a.cluster.Index
@@ -217,7 +288,14 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 		for _, ch := range a.children {
 			ctx.SendVolume(ch, m, int64(len(m.params)))
 		}
+		// A forwarded flag is proof that round m.round is starting below:
+		// under faults, arm the collect deadline now so the round cannot
+		// stall even if every upload is lost.
+		a.armCollect(ctx, m.round, 0)
 	case msgGlobal:
+		if a.failed(m.round) {
+			return
+		}
 		if a.isBottom {
 			bi := a.cluster.Index
 			if _, ok := e.globalArrival[bi][m.round]; !ok {
@@ -230,11 +308,60 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	}
 }
 
+// armCollect schedules attempt's collect deadline for round (faulted runs
+// only; fault-free runs keep the seed's first-arrival arming). Every empty
+// expiry re-arms with the deadline multiplied by the backoff until the
+// retry budget is spent, after which the round is abandoned.
+func (a *clusterActor) armCollect(ctx *simnet.Context, round, attempt int) {
+	e := a.e
+	if !e.faulty || e.cfg.CollectTimeout <= 0 || round >= e.cfg.Rounds {
+		return
+	}
+	if attempt == 0 {
+		if a.armed[round] || a.closed[round] {
+			return
+		}
+		a.armed[round] = true
+	}
+	d := e.cfg.CollectTimeout * math.Pow(e.backoff, float64(attempt))
+	ctx.After(simnet.Time(d), func(ctx *simnet.Context) { a.collectDeadline(ctx, round, attempt) })
+}
+
+// collectDeadline is the timeout branch of Algorithm 4 with backoff: a
+// deadline firing with a non-empty sub-quorum set aggregates it (degraded
+// operation); an empty one re-arms, then abandons.
+func (a *clusterActor) collectDeadline(ctx *simnet.Context, round, attempt int) {
+	e := a.e
+	if a.closed[round] {
+		return
+	}
+	if n := len(a.collected[round]); n > 0 {
+		if n < e.quorumOf(a.cluster.Size()) {
+			e.subQuorum()
+		}
+		a.aggregateRound(ctx, round)
+		return
+	}
+	if attempt+1 < e.retries {
+		a.armCollect(ctx, round, attempt+1)
+		return
+	}
+	a.closed[round] = true
+	e.abandoned()
+}
+
 func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector, from int) {
 	e := a.e
 	if a.closed[round] || round >= e.cfg.Rounds {
 		return
 	}
+	if a.seen[round][from] {
+		return // duplicate delivery of an already-counted contribution
+	}
+	if a.seen[round] == nil {
+		a.seen[round] = map[int]bool{}
+	}
+	a.seen[round][from] = true
 	if a.isBottom {
 		bi := a.cluster.Index
 		if _, ok := e.firstArrival[bi][round]; !ok {
@@ -246,14 +373,21 @@ func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vec
 	if e.fe != nil {
 		a.collectedIDs[round] = append(a.collectedIDs[round], from)
 	}
-	if first && e.cfg.CollectTimeout > 0 {
+	if first && e.cfg.CollectTimeout > 0 && !e.faulty {
 		// Algorithm 4's "until M >= φ*C or Timeout": arm the semi-synchronous
-		// deadline at the first arrival for this round.
+		// deadline at the first arrival for this round. (Faulted runs arm at
+		// flag forwarding instead, see armCollect.)
 		ctx.After(simnet.Time(e.cfg.CollectTimeout), func(ctx *simnet.Context) {
 			if !a.closed[round] && len(a.collected[round]) > 0 {
+				if len(a.collected[round]) < e.quorumOf(a.cluster.Size()) {
+					e.subQuorum()
+				}
 				a.aggregateRound(ctx, round)
 			}
 		})
+	}
+	if first {
+		a.armCollect(ctx, round, 0)
 	}
 	if len(a.collected[round]) < e.quorumOf(a.cluster.Size()) {
 		return
@@ -270,8 +404,12 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 	ids := a.collectedIDs[round]
 	delete(a.collected, round)
 	delete(a.collectedIDs, round)
+	delete(a.seen, round)
 	dur := e.aggDuration(a.cluster.Level, a.cluster.Index, round)
 	ctx.After(dur, func(ctx *simnet.Context) {
+		if a.failed(round) {
+			return
+		}
 		agg := tensor.NewVector(len(vecs[0]))
 		if err := e.cfg.PartialBRA.AggregateInto(agg, e.aggScratch, vecs); err != nil {
 			// A malformed quorum at runtime: drop the round for this cluster.
@@ -284,6 +422,7 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 			for _, ch := range a.children {
 				ctx.SendVolume(ch, flag, int64(len(agg)))
 			}
+			a.armCollect(ctx, round+1, 0)
 		}
 	})
 }
@@ -301,9 +440,13 @@ type topActor struct {
 	// collectedIDs tracks each partial's contributor (its level-1 cluster
 	// leader id), in lockstep with collected; see clusterActor.collectedIDs.
 	collectedIDs map[int][]int
-	closed       map[int]bool
-	children     []simnet.NodeID
-	completed    int
+	// seen deduplicates per-round contributions by level-1 cluster index
+	// (the fault layer can duplicate partials in flight).
+	seen      map[int]map[int]bool
+	closed    map[int]bool
+	armed     map[int]bool
+	children  []simnet.NodeID
+	completed int
 }
 
 func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
@@ -315,6 +458,13 @@ func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	if t.closed[m.round] || m.round >= e.cfg.Rounds {
 		return
 	}
+	if t.seen[m.round][m.child] {
+		return
+	}
+	if t.seen[m.round] == nil {
+		t.seen[m.round] = map[int]bool{}
+	}
+	t.seen[m.round][m.child] = true
 	if _, seen := e.firstPartial[m.round]; !seen {
 		e.firstPartial[m.round] = ctx.Now()
 	}
@@ -322,17 +472,61 @@ func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	if e.fe != nil {
 		t.collectedIDs[m.round] = append(t.collectedIDs[m.round], e.tree.Clusters[1][m.child].Leader)
 	}
+	t.armCollect(ctx, m.round, 0)
 	if len(t.collected[m.round]) < e.quorumOf(e.tree.Top().Size()) {
 		return
 	}
-	t.closed[m.round] = true
-	vecs := t.collected[m.round]
-	ids := t.collectedIDs[m.round]
-	delete(t.collected, m.round)
-	delete(t.collectedIDs, m.round)
-	round := m.round
+	t.closeRound(ctx, m.round)
+}
+
+// closeRound seals the round's collection and schedules global aggregation
+// over whatever was collected.
+func (t *topActor) closeRound(ctx *simnet.Context, round int) {
+	e := t.e
+	t.closed[round] = true
+	vecs := t.collected[round]
+	ids := t.collectedIDs[round]
+	delete(t.collected, round)
+	delete(t.collectedIDs, round)
+	delete(t.seen, round)
 	dur := e.aggDuration(0, 0, round)
 	ctx.After(dur, func(ctx *simnet.Context) { t.formGlobal(ctx, round, vecs, ids) })
+}
+
+// armCollect mirrors clusterActor.armCollect for the top level: under
+// faults, the global round's deadline is armed as soon as the previous
+// global forms (or at the first partial's arrival), backs off while empty,
+// and finally abandons the round so the run drains instead of hanging.
+func (t *topActor) armCollect(ctx *simnet.Context, round, attempt int) {
+	e := t.e
+	if !e.faulty || e.cfg.CollectTimeout <= 0 || round >= e.cfg.Rounds {
+		return
+	}
+	if attempt == 0 {
+		if t.armed[round] || t.closed[round] {
+			return
+		}
+		t.armed[round] = true
+	}
+	d := e.cfg.CollectTimeout * math.Pow(e.backoff, float64(attempt))
+	ctx.After(simnet.Time(d), func(ctx *simnet.Context) {
+		if t.closed[round] {
+			return
+		}
+		if n := len(t.collected[round]); n > 0 {
+			if n < e.quorumOf(e.tree.Top().Size()) {
+				e.subQuorum()
+			}
+			t.closeRound(ctx, round)
+			return
+		}
+		if attempt+1 < e.retries {
+			t.armCollect(ctx, round, attempt+1)
+			return
+		}
+		t.closed[round] = true
+		e.abandoned()
+	})
 }
 
 func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vector, ids []int) {
@@ -363,6 +557,7 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 	}
 	e.ins.globalFormed()
 	e.globalReady[round] = ctx.Now()
+	e.result.FinalParams = global
 	e.evaluate(round, ctx.Now(), global)
 	gm := msgGlobal{round: round, params: global, formedAt: ctx.Now()}
 	for _, ch := range t.children {
@@ -375,6 +570,9 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 		}
 	}
 	t.completed++
+	// A formed global proves round+1 is about to start below: arm its
+	// top-level deadline now so a fully-starved next round still resolves.
+	t.armCollect(ctx, round+1, 0)
 	if t.completed >= e.cfg.Rounds {
 		e.done = true
 		e.result.Duration = ctx.Now()
@@ -425,6 +623,9 @@ func Run(cfg Config) (*Result, error) {
 	tree := cfg.Tree
 	sim := simnet.New(cfg.Latency, root.Derive("net"))
 	sim.Bandwidth = cfg.Bandwidth
+	if cfg.Faults.Enabled() {
+		sim.Fault = cfg.Faults
+	}
 	sizes := cfg.modelSizes()
 	e := &engine{
 		cfg:        cfg,
@@ -438,6 +639,16 @@ func Run(cfg Config) (*Result, error) {
 		evalPool:   nn.NewEvalPool(sizes...),
 		workers:    cfg.Workers,
 		aggScratch: aggregate.NewScratch(cfg.Workers),
+	}
+	e.plan = cfg.Faults
+	e.faulty = cfg.Faults.Enabled()
+	e.backoff = cfg.TimeoutBackoff
+	if e.backoff == 0 {
+		e.backoff = 2
+	}
+	e.retries = cfg.TimeoutRetries
+	if e.retries == 0 {
+		e.retries = 3
 	}
 	e.ins = newInstruments(cfg.Telemetry, tree.Depth())
 	e.fe = newFilterEmitter(e.ins, cfg.OnFilter)
@@ -492,7 +703,7 @@ func Run(cfg Config) (*Result, error) {
 	devActors := make([]*deviceActor, devices)
 	for id := 0; id < devices; id++ {
 		m := nn.NewShaped(e.sizes...)
-		devActors[id] = &deviceActor{e: e, id: id, curRound: -1, model: m, ws: nn.NewWorkspace(m)}
+		devActors[id] = &deviceActor{e: e, id: id, curRound: -1, model: m, ws: nn.NewWorkspace(m), seenGlobal: map[int]bool{}}
 		if !cfg.Crashed[id] {
 			// Crashed devices stay unregistered: the simulator drops their
 			// traffic, exactly like a crash-stop node.
@@ -503,7 +714,14 @@ func Run(cfg Config) (*Result, error) {
 	for l := 0; l < tree.Depth(); l++ {
 		for i, c := range tree.Clusters[l] {
 			if l == 0 {
-				topA = &topActor{e: e, collected: map[int][]tensor.Vector{}, collectedIDs: map[int][]int{}, closed: map[int]bool{}}
+				topA = &topActor{
+					e:            e,
+					collected:    map[int][]tensor.Vector{},
+					collectedIDs: map[int][]int{},
+					seen:         map[int]map[int]bool{},
+					closed:       map[int]bool{},
+					armed:        map[int]bool{},
+				}
 				for _, ch := range tree.ChildClusters(0, 0) {
 					topA.children = append(topA.children, e.nodeOfCluster(1, ch.Index))
 				}
@@ -515,7 +733,9 @@ func Run(cfg Config) (*Result, error) {
 				cluster:      c,
 				collected:    map[int][]tensor.Vector{},
 				collectedIDs: map[int][]int{},
+				seen:         map[int]map[int]bool{},
 				closed:       map[int]bool{},
+				armed:        map[int]bool{},
 				isBottom:     l == bottom,
 			}
 			if l == 1 {
@@ -549,13 +769,28 @@ func Run(cfg Config) (*Result, error) {
 			devActors[id].start(ctx, 0, init, 1)
 		})
 	}
+	if e.faulty && cfg.CollectTimeout > 0 {
+		// Bootstrap the top's round-0 deadline: with every round-0 partial
+		// lost, no arrival would ever arm it.
+		sim.ScheduleAt(0, e.clusterNode[0][0], func(ctx *simnet.Context) {
+			topA.armCollect(ctx, 0, 0)
+		})
+	}
 	if _, err := sim.Run(0); err != nil {
 		return nil, err
 	}
+	e.result.CompletedRounds = topA.completed
 	if !e.done {
-		return nil, fmt.Errorf("pipeline: simulation drained after %d/%d rounds", topA.completed, cfg.Rounds)
+		if !e.faulty {
+			return nil, fmt.Errorf("pipeline: simulation drained after %d/%d rounds", topA.completed, cfg.Rounds)
+		}
+		// Degraded operation under injected faults: the plan starved the
+		// protocol of its remaining rounds. The run still terminated (no
+		// deadlock) and everything completed so far is reported.
+		e.result.Duration = sim.Now()
 	}
 	e.result.Network = sim.Stats()
+	e.ins.network(e.result.Network)
 	e.computeTimings()
 	if n := len(e.result.Curve); n > 0 {
 		e.result.FinalAccuracy = e.result.Curve[n-1].Accuracy

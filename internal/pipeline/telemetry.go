@@ -5,6 +5,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/consensus"
+	"abdhfl/internal/simnet"
 	"abdhfl/internal/telemetry"
 )
 
@@ -34,6 +35,13 @@ type instruments struct {
 	accuracy  *telemetry.Gauge
 	excluded  *telemetry.Counter
 	votes     *telemetry.Histogram
+	// Fault-injection and degraded-operation counters.
+	subquorum *telemetry.Counter
+	abandon   *telemetry.Counter
+	omit      *telemetry.Counter
+	dropped   *telemetry.Counter
+	droppedUn *telemetry.Counter
+	dup       *telemetry.Counter
 	// kept/clipped/trimmed are indexed by tree level (0 = top).
 	kept    []*telemetry.Counter
 	clipped []*telemetry.Counter
@@ -54,6 +62,12 @@ func newInstruments(reg *telemetry.Registry, levels int) *instruments {
 		accuracy:  reg.Gauge(`abdhfl_accuracy{engine="pipeline"}`),
 		excluded:  reg.Counter(`abdhfl_consensus_excluded_total{engine="pipeline"}`),
 		votes:     reg.Histogram(`abdhfl_consensus_votes{engine="pipeline"}`, telemetry.LinearBuckets(0, 1, 17)),
+		subquorum: reg.Counter(`abdhfl_subquorum_aggregations_total{engine="pipeline"}`),
+		abandon:   reg.Counter(`abdhfl_abandoned_collections_total{engine="pipeline"}`),
+		omit:      reg.Counter(`abdhfl_omitted_uploads_total{engine="pipeline"}`),
+		dropped:   reg.Counter(`abdhfl_simnet_dropped_total{reason="fault"}`),
+		droppedUn: reg.Counter(`abdhfl_simnet_dropped_total{reason="unregistered"}`),
+		dup:       reg.Counter("abdhfl_simnet_duplicated_total"),
 	}
 	for p := 0; p < numSigmas; p++ {
 		ins.sigma[p] = reg.Histogram(fmt.Sprintf(`abdhfl_pipeline_sigma_vms{phase=%q}`, sigmaNames[p]), vms)
@@ -99,6 +113,38 @@ func (ins *instruments) roundTiming(t RoundTiming) {
 	ins.sigma[sigmaGlobal].Observe(t.SigmaG)
 	ins.sigma[sigmaTotal].Observe(t.Sigma)
 	ins.nu.Observe(t.Nu)
+}
+
+// subQuorum records one aggregation closed below quorum by a timeout.
+func (ins *instruments) subQuorum() {
+	if ins != nil {
+		ins.subquorum.Inc()
+	}
+}
+
+// abandoned records one collection given up with zero inputs after the
+// timeout-with-backoff retries expired.
+func (ins *instruments) abandoned() {
+	if ins != nil {
+		ins.abandon.Inc()
+	}
+}
+
+// omitted records one withheld upload from an omission-Byzantine device.
+func (ins *instruments) omitted() {
+	if ins != nil {
+		ins.omit.Inc()
+	}
+}
+
+// network publishes the simulator's end-of-run fault and loss counters.
+func (ins *instruments) network(st simnet.Stats) {
+	if ins == nil {
+		return
+	}
+	ins.dropped.Add(int64(st.Dropped))
+	ins.droppedUn.Add(int64(st.DroppedUnregistered))
+	ins.dup.Add(int64(st.Duplicated))
 }
 
 func (ins *instruments) setMeanNu(nu float64) {

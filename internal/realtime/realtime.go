@@ -15,12 +15,14 @@ package realtime
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
+	"abdhfl/internal/fault"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/telemetry"
@@ -35,6 +37,27 @@ type Config struct {
 	FlagLevel int
 	// Quorum φ: fraction of inputs a leader waits for; zero selects 1.
 	Quorum float64
+	// CollectTimeout is the leaders' wall-clock deadline per collection: a
+	// leader that has waited this long since a round's first arrival (or, at
+	// the top, since the round became expected) aggregates what it holds,
+	// even below quorum. Zero disables timeouts. Required (>0) whenever
+	// Faults can starve a quorum — without it a crashed member would leave
+	// its leader waiting forever.
+	CollectTimeout time.Duration
+	// TimeoutBackoff multiplies the deadline on every empty expiry; zero
+	// selects 2.
+	TimeoutBackoff float64
+	// TimeoutRetries bounds empty re-arms before a round is abandoned; zero
+	// selects 3.
+	TimeoutRetries int
+
+	// Faults injects the plan's failures: crashed devices stop responding
+	// (the goroutine returns without draining its inbox), churned devices sit
+	// out their interval, omission-Byzantine devices train but withhold
+	// uploads, failed leaders ignore traffic from their failure round on, and
+	// Drop applies per-upload via the plan's deterministic per-(seed,label)
+	// coin — channels themselves never lose messages. Nil injects nothing.
+	Faults *fault.Plan
 
 	Local  nn.TrainConfig
 	Hidden []int
@@ -100,6 +123,17 @@ func (c *Config) Validate() error {
 	if c.TopVoting != nil && len(c.ValidationShards) == 0 {
 		return errors.New("realtime: TopVoting requires ValidationShards")
 	}
+	if c.Faults.Enabled() && c.CollectTimeout <= 0 {
+		// Liveness: channels cannot time out on their own, so every injected
+		// fault that can starve a quorum needs the timeout escape hatch.
+		return errors.New("realtime: Faults require a positive CollectTimeout")
+	}
+	if c.TimeoutBackoff != 0 && c.TimeoutBackoff < 1 {
+		return fmt.Errorf("realtime: TimeoutBackoff %v below 1", c.TimeoutBackoff)
+	}
+	if c.TimeoutRetries < 0 {
+		return fmt.Errorf("realtime: TimeoutRetries %d negative", c.TimeoutRetries)
+	}
 	return nil
 }
 
@@ -124,6 +158,20 @@ type Result struct {
 	Goroutines int
 	// Merges counts correction-factor applications.
 	Merges int
+	// CompletedRounds counts global models actually formed; under faults the
+	// top may abandon starved rounds instead.
+	CompletedRounds int
+	// AbandonedRounds counts rounds the top gave up on after its
+	// timeout-with-backoff retries expired with zero partials.
+	AbandonedRounds int
+	// SubQuorum counts aggregations (any level) closed below quorum by a
+	// collect timeout.
+	SubQuorum int
+	// Omitted counts uploads withheld by omission-Byzantine devices.
+	Omitted int
+	// DroppedSends counts messages suppressed by the plan's transport-drop
+	// coin.
+	DroppedSends int
 }
 
 // Message kinds flowing through actor inboxes.
@@ -146,14 +194,17 @@ type envelope struct {
 // atomics, so the concurrent device and leader goroutines record through one
 // shared instance; a nil *rtInstruments makes every method a no-op.
 type rtInstruments struct {
-	rounds   *telemetry.Counter
-	merges   *telemetry.Counter
-	accuracy *telemetry.Gauge
-	excluded *telemetry.Counter
-	votes    *telemetry.Histogram
-	kept     []*telemetry.Counter
-	clipped  []*telemetry.Counter
-	trimmed  []*telemetry.Counter
+	rounds    *telemetry.Counter
+	merges    *telemetry.Counter
+	accuracy  *telemetry.Gauge
+	excluded  *telemetry.Counter
+	votes     *telemetry.Histogram
+	subquorum *telemetry.Counter
+	abandon   *telemetry.Counter
+	omit      *telemetry.Counter
+	kept      []*telemetry.Counter
+	clipped   []*telemetry.Counter
+	trimmed   []*telemetry.Counter
 }
 
 func newRTInstruments(reg *telemetry.Registry, levels int) *rtInstruments {
@@ -161,11 +212,14 @@ func newRTInstruments(reg *telemetry.Registry, levels int) *rtInstruments {
 		return nil
 	}
 	ins := &rtInstruments{
-		rounds:   reg.Counter(`abdhfl_rounds_total{engine="realtime"}`),
-		merges:   reg.Counter("abdhfl_realtime_merged_globals_total"),
-		accuracy: reg.Gauge(`abdhfl_accuracy{engine="realtime"}`),
-		excluded: reg.Counter(`abdhfl_consensus_excluded_total{engine="realtime"}`),
-		votes:    reg.Histogram(`abdhfl_consensus_votes{engine="realtime"}`, telemetry.LinearBuckets(0, 1, 17)),
+		rounds:    reg.Counter(`abdhfl_rounds_total{engine="realtime"}`),
+		merges:    reg.Counter("abdhfl_realtime_merged_globals_total"),
+		accuracy:  reg.Gauge(`abdhfl_accuracy{engine="realtime"}`),
+		excluded:  reg.Counter(`abdhfl_consensus_excluded_total{engine="realtime"}`),
+		votes:     reg.Histogram(`abdhfl_consensus_votes{engine="realtime"}`, telemetry.LinearBuckets(0, 1, 17)),
+		subquorum: reg.Counter(`abdhfl_subquorum_aggregations_total{engine="realtime"}`),
+		abandon:   reg.Counter(`abdhfl_abandoned_collections_total{engine="realtime"}`),
+		omit:      reg.Counter(`abdhfl_omitted_uploads_total{engine="realtime"}`),
 	}
 	for lvl := 0; lvl < levels; lvl++ {
 		suffix := fmt.Sprintf(`{engine="realtime",level="%d"}`, lvl)
@@ -179,6 +233,24 @@ func newRTInstruments(reg *telemetry.Registry, levels int) *rtInstruments {
 func (ins *rtInstruments) merged() {
 	if ins != nil {
 		ins.merges.Inc()
+	}
+}
+
+func (ins *rtInstruments) subQuorum() {
+	if ins != nil {
+		ins.subquorum.Inc()
+	}
+}
+
+func (ins *rtInstruments) abandoned() {
+	if ins != nil {
+		ins.abandon.Inc()
+	}
+}
+
+func (ins *rtInstruments) omitted() {
+	if ins != nil {
+		ins.omit.Inc()
 	}
 }
 
@@ -265,6 +337,50 @@ func Run(cfg Config) (*Result, error) {
 	mergeCount := 0
 	ins := newRTInstruments(cfg.Telemetry, tree.Depth())
 
+	// Fault machinery: the plan's queries are all nil-safe, so actors consult
+	// it unconditionally. fstats is shared by every goroutine.
+	plan := cfg.Faults
+	faulty := plan.Enabled()
+	backoff := cfg.TimeoutBackoff
+	if backoff == 0 {
+		backoff = 2
+	}
+	retries := cfg.TimeoutRetries
+	if retries == 0 {
+		retries = 3
+	}
+	// deadlineAfter is attempt's collect deadline with exponential backoff.
+	deadlineAfter := func(attempt int) time.Duration {
+		return time.Duration(float64(cfg.CollectTimeout) * math.Pow(backoff, float64(attempt)))
+	}
+	var fstats struct {
+		sync.Mutex
+		subQuorum, abandoned, omitted, dropped int
+	}
+	countSubQuorum := func() {
+		fstats.Lock()
+		fstats.subQuorum++
+		fstats.Unlock()
+		ins.subQuorum()
+	}
+	countAbandoned := func() {
+		fstats.Lock()
+		fstats.abandoned++
+		fstats.Unlock()
+		ins.abandoned()
+	}
+	countOmitted := func() {
+		fstats.Lock()
+		fstats.omitted++
+		fstats.Unlock()
+		ins.omitted()
+	}
+	countDropped := func() {
+		fstats.Lock()
+		fstats.dropped++
+		fstats.Unlock()
+	}
+
 	result := &Result{RoundAccuracy: make([]float64, cfg.Rounds)}
 	var wg sync.WaitGroup
 	goroutines := 0
@@ -305,37 +421,53 @@ func Run(cfg Config) (*Result, error) {
 				ins.merged()
 			}
 			for round < cfg.Rounds {
-				// Train the current round.
-				model.SetParams(cur)
-				nn.SGDWS(model, ws, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
-				if cfg.TrainDelay > 0 {
-					time.Sleep(cfg.TrainDelay)
-				}
-				out := model.Params()
-				// Drain the inbox: merge globals that arrived while training
-				// (Alg. 2's correction factor), stash flags for the next round.
-				drained := false
-				for !drained {
-					select {
-					case env := <-devInbox[id]:
-						switch env.kind {
-						case kGlobal:
-							tensor.Lerp(out, out, env.params, alpha)
-							countMerge()
-						case kFlag:
-							if stashedFlag == nil || env.round > stashedFlag.round {
-								env := env
-								stashedFlag = &env
-							}
-						}
-					default:
-						drained = true
-					}
-				}
-				select {
-				case leaderOf[id] <- envelope{kind: kLocal, round: round, params: out}:
-				case <-done:
+				if plan.DeviceCrashed(id, round) {
+					// Fail-stop: the goroutine stops responding — no drain, no
+					// goodbye. Its leader's quorum/timeout machinery must cope.
 					return
+				}
+				if !plan.DeviceOffline(id, round) {
+					// Train the current round.
+					model.SetParams(cur)
+					nn.SGDWS(model, ws, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
+					if cfg.TrainDelay > 0 {
+						time.Sleep(cfg.TrainDelay)
+					}
+					out := model.Params()
+					// Drain the inbox: merge globals that arrived while training
+					// (Alg. 2's correction factor), stash flags for the next round.
+					drained := false
+					for !drained {
+						select {
+						case env := <-devInbox[id]:
+							switch env.kind {
+							case kGlobal:
+								tensor.Lerp(out, out, env.params, alpha)
+								countMerge()
+							case kFlag:
+								if stashedFlag == nil || env.round > stashedFlag.round {
+									env := env
+									stashedFlag = &env
+								}
+							}
+						default:
+							drained = true
+						}
+					}
+					switch {
+					case plan.OmitUpload(id, round):
+						// Omission-Byzantine: trained, but the upload is withheld.
+						countOmitted()
+					case plan.DropSend(fmt.Sprintf("up-%d-%d", id, round)):
+						// Transport loss on the upload link.
+						countDropped()
+					default:
+						select {
+						case leaderOf[id] <- envelope{kind: kLocal, round: round, params: out}:
+						case <-done:
+							return
+						}
+					}
 				}
 				// Wait for the next flag model (or termination).
 				next := round + 1
@@ -404,55 +536,132 @@ func Run(cfg Config) (*Result, error) {
 				// so the warm buffers must not be shared between goroutines.
 				aggScratch := aggregate.NewScratch(cfg.Workers)
 				ins.attachAudit(aggScratch)
-				for {
-					var env envelope
-					select {
-					case env = <-clusterInbox[l][ci]:
-					case <-done:
+				// Collect deadlines (faulted runs only): a round whose quorum
+				// never fills aggregates sub-quorum at its deadline; an empty
+				// round backs off, then is abandoned.
+				deadline := map[int]time.Time{}
+				attempts := map[int]int{}
+				arm := func(r int) {
+					if !faulty || cfg.CollectTimeout <= 0 || r >= cfg.Rounds || closed[r] {
 						return
 					}
-					switch env.kind {
-					case kLocal, kPartial:
-						if closed[env.round] {
-							continue
-						}
-						collected[env.round] = append(collected[env.round], env.params)
-						if len(collected[env.round]) < need {
-							continue
-						}
-						closed[env.round] = true
-						vecs := collected[env.round]
-						delete(collected, env.round)
-						// Fresh destination per call: the aggregate is retained
-						// by downstream envelopes.
-						agg := tensor.NewVector(len(vecs[0]))
-						if err := cfg.PartialBRA.AggregateInto(agg, aggScratch, vecs); err != nil {
-							continue
-						}
-						ins.recordAudit(l, aggScratch)
-						out := envelope{kind: kPartial, round: env.round, params: agg}
+					if _, ok := deadline[r]; !ok {
+						deadline[r] = time.Now().Add(deadlineAfter(0))
+					}
+				}
+				// aggregateRound closes round r over whatever was collected and
+				// forwards; it reports false when the run is shutting down.
+				aggregateRound := func(r int) bool {
+					closed[r] = true
+					delete(deadline, r)
+					vecs := collected[r]
+					delete(collected, r)
+					// Fresh destination per call: the aggregate is retained
+					// by downstream envelopes.
+					agg := tensor.NewVector(len(vecs[0]))
+					if err := cfg.PartialBRA.AggregateInto(agg, aggScratch, vecs); err != nil {
+						return true
+					}
+					ins.recordAudit(l, aggScratch)
+					if plan.DropSend(fmt.Sprintf("partial-%d-%d-%d", l, ci, r)) {
+						countDropped()
+					} else {
 						select {
-						case parent <- out:
+						case parent <- envelope{kind: kPartial, round: r, params: agg}:
+						case <-done:
+							return false
+						}
+					}
+					if l == cfg.FlagLevel && r+1 < cfg.Rounds {
+						flag := envelope{kind: kFlag, round: r + 1, params: agg}
+						for _, ch := range children {
+							select {
+							case ch <- flag:
+							case <-done:
+								return false
+							}
+						}
+						arm(r + 1)
+					}
+					return true
+				}
+				for {
+					var env envelope
+					if faulty && len(deadline) > 0 {
+						var next time.Time
+						for _, dl := range deadline {
+							if next.IsZero() || dl.Before(next) {
+								next = dl
+							}
+						}
+						select {
+						case env = <-clusterInbox[l][ci]:
+						case <-done:
+							return
+						case <-time.After(time.Until(next)):
+							now := time.Now()
+							for r, dl := range deadline {
+								if dl.After(now) {
+									continue
+								}
+								if closed[r] {
+									delete(deadline, r)
+									continue
+								}
+								if len(collected[r]) > 0 {
+									if len(collected[r]) < need {
+										countSubQuorum()
+									}
+									if !aggregateRound(r) {
+										return
+									}
+								} else if attempts[r]+1 < retries {
+									attempts[r]++
+									deadline[r] = now.Add(deadlineAfter(attempts[r]))
+								} else {
+									closed[r] = true
+									delete(deadline, r)
+									countAbandoned()
+								}
+							}
+							continue
+						}
+					} else {
+						select {
+						case env = <-clusterInbox[l][ci]:
 						case <-done:
 							return
 						}
-						if l == cfg.FlagLevel && env.round+1 < cfg.Rounds {
-							flag := envelope{kind: kFlag, round: env.round + 1, params: agg}
-							for _, ch := range children {
-								select {
-								case ch <- flag:
-								case <-done:
-									return
-								}
-							}
+					}
+					switch env.kind {
+					case kLocal, kPartial:
+						if closed[env.round] || plan.LeaderFailed(l, ci, env.round) {
+							continue
+						}
+						collected[env.round] = append(collected[env.round], env.params)
+						arm(env.round)
+						if len(collected[env.round]) < need {
+							continue
+						}
+						if !aggregateRound(env.round) {
+							return
 						}
 					case kFlag, kGlobal:
+						if plan.LeaderFailed(l, ci, env.round) {
+							// Failed leader: the subtree below starves too.
+							continue
+						}
 						for _, ch := range children {
 							select {
 							case ch <- env:
 							case <-done:
 								return
 							}
+						}
+						if env.kind == kFlag {
+							// A forwarded flag proves the round is starting below:
+							// arm its deadline so total upload loss cannot stall it.
+							arm(env.round)
 						}
 					}
 				}
@@ -474,6 +683,7 @@ func Run(cfg Config) (*Result, error) {
 	for _, ch := range tree.ChildClusters(0, 0) {
 		topChildren = append(topChildren, clusterInbox[1][ch.Index])
 	}
+	topCompleted, topAbandoned := 0, 0
 	wg.Add(1)
 	goroutines++
 	go func() {
@@ -484,26 +694,43 @@ func Run(cfg Config) (*Result, error) {
 		need := quorumOf(tree.Top().Size())
 		aggScratch := aggregate.NewScratch(cfg.Workers)
 		ins.attachAudit(aggScratch)
-		completed := 0
-		for completed < cfg.Rounds {
-			env := <-clusterInbox[0][0]
-			if env.kind != kPartial || closedRounds[env.round] {
-				continue
+		deadline := map[int]time.Time{}
+		attempts := map[int]int{}
+		arm := func(r int) {
+			if !faulty || cfg.CollectTimeout <= 0 || r >= cfg.Rounds || closedRounds[r] {
+				return
 			}
-			collected[env.round] = append(collected[env.round], env.params)
-			if len(collected[env.round]) < need {
-				continue
+			if _, ok := deadline[r]; !ok {
+				deadline[r] = time.Now().Add(deadlineAfter(0))
 			}
-			closedRounds[env.round] = true
-			vecs := collected[env.round]
-			delete(collected, env.round)
+		}
+		arm(0)
+		// resolved counts rounds closed either way — formed or abandoned — so
+		// the run terminates even when faults starve the protocol of rounds.
+		resolved := 0
+		abandon := func(r int) {
+			closedRounds[r] = true
+			delete(deadline, r)
+			delete(collected, r)
+			resolved++
+			topAbandoned++
+			countAbandoned()
+			arm(r + 1)
+		}
+		formGlobal := func(r int) {
+			closedRounds[r] = true
+			delete(deadline, r)
+			vecs := collected[r]
+			delete(collected, r)
+			resolved++
+			arm(r + 1)
 			var global tensor.Vector
 			var err error
 			if cfg.TopVoting != nil {
 				cctx := &consensus.Context{
 					Members:   len(vecs),
 					Validator: validator,
-					Rand:      root.Derive(fmt.Sprintf("vote-%d", env.round)),
+					Rand:      root.Derive(fmt.Sprintf("vote-%d", r)),
 				}
 				var st consensus.Stats
 				global, st, err = cfg.TopVoting.Agree(cctx, vecs)
@@ -518,22 +745,70 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 			if err != nil {
-				continue
+				return
 			}
 			evalModel.SetParams(global)
-			result.RoundAccuracy[env.round] = nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
-			ins.globalFormed(result.RoundAccuracy[env.round])
-			completed++
-			gm := envelope{kind: kGlobal, round: env.round, params: global}
+			result.RoundAccuracy[r] = nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
+			ins.globalFormed(result.RoundAccuracy[r])
+			topCompleted++
+			gm := envelope{kind: kGlobal, round: r, params: global}
 			for _, ch := range topChildren {
 				ch <- gm
 			}
-			if cfg.FlagLevel == 0 && env.round+1 < cfg.Rounds {
-				flag := envelope{kind: kFlag, round: env.round + 1, params: global}
+			if cfg.FlagLevel == 0 && r+1 < cfg.Rounds {
+				flag := envelope{kind: kFlag, round: r + 1, params: global}
 				for _, ch := range topChildren {
 					ch <- flag
 				}
 			}
+		}
+		for resolved < cfg.Rounds {
+			var env envelope
+			if faulty && len(deadline) > 0 {
+				var next time.Time
+				for _, dl := range deadline {
+					if next.IsZero() || dl.Before(next) {
+						next = dl
+					}
+				}
+				expired := false
+				select {
+				case env = <-clusterInbox[0][0]:
+				case <-time.After(time.Until(next)):
+					expired = true
+				}
+				if expired {
+					now := time.Now()
+					for r, dl := range deadline {
+						if dl.After(now) || closedRounds[r] {
+							continue
+						}
+						if n := len(collected[r]); n > 0 {
+							if n < need {
+								countSubQuorum()
+							}
+							formGlobal(r)
+						} else if attempts[r]+1 < retries {
+							attempts[r]++
+							deadline[r] = now.Add(deadlineAfter(attempts[r]))
+						} else {
+							abandon(r)
+						}
+					}
+					continue
+				}
+			} else {
+				env = <-clusterInbox[0][0]
+			}
+			if env.kind != kPartial || closedRounds[env.round] {
+				continue
+			}
+			collected[env.round] = append(collected[env.round], env.params)
+			arm(env.round)
+			if len(collected[env.round]) < need {
+				continue
+			}
+			formGlobal(env.round)
 		}
 	}()
 
@@ -544,6 +819,13 @@ func Run(cfg Config) (*Result, error) {
 	merges.Lock()
 	result.Merges = mergeCount
 	merges.Unlock()
+	result.CompletedRounds = topCompleted
+	result.AbandonedRounds = topAbandoned
+	fstats.Lock()
+	result.SubQuorum = fstats.subQuorum
+	result.Omitted = fstats.omitted
+	result.DroppedSends = fstats.dropped
+	fstats.Unlock()
 	for r := cfg.Rounds - 1; r >= 0; r-- {
 		if result.RoundAccuracy[r] > 0 {
 			result.FinalAccuracy = result.RoundAccuracy[r]

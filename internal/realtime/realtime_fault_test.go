@@ -1,0 +1,99 @@
+package realtime
+
+import (
+	"testing"
+	"time"
+
+	"abdhfl/internal/fault"
+)
+
+// TestRealtimeCrashedMemberDoesNotDeadlockLeader is the liveness regression
+// for real goroutine crashes: a device whose goroutine exits mid-protocol
+// (fail-stop, not a polite skip) must never wedge its leader. Quorum plus the
+// wall-clock collect timeout have to carry every remaining round. Run under
+// -race via the Makefile race target.
+func TestRealtimeCrashedMemberDoesNotDeadlockLeader(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 8, 1, 0)
+	cfg.Quorum = 0.5
+	cfg.CollectTimeout = 200 * time.Millisecond
+	// Device 0 never starts; device 5 crashes from round 2 on. Both bottom
+	// clusters lose a member at some point.
+	cfg.Faults = &fault.Plan{Seed: 3, CrashFromRound: map[int]int{0: 0, 5: 2}}
+	res := runWithTimeout(t, cfg)
+	if res.CompletedRounds == 0 {
+		t.Fatal("no rounds completed around the crashed members")
+	}
+	if res.CompletedRounds > cfg.Rounds {
+		t.Fatalf("completed %d of %d configured rounds", res.CompletedRounds, cfg.Rounds)
+	}
+	if res.FinalAccuracy <= 0 {
+		t.Fatal("no accuracy recorded")
+	}
+}
+
+// TestRealtimeChurnRejoin: a churned device must sit out its interval and
+// then resume contributing — the run completes all rounds and still learns.
+func TestRealtimeChurnRejoin(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 8, 1, 0)
+	cfg.Quorum = 0.5
+	cfg.CollectTimeout = 200 * time.Millisecond
+	cfg.Faults = &fault.Plan{
+		Seed:           3,
+		ChurnIntervals: []fault.Churn{{Device: 1, FromRound: 1, ToRound: 3}},
+	}
+	res := runWithTimeout(t, cfg)
+	if res.CompletedRounds != cfg.Rounds {
+		t.Fatalf("completed %d of %d rounds with transient churn", res.CompletedRounds, cfg.Rounds)
+	}
+	if res.FinalAccuracy < 0.2 {
+		t.Fatalf("accuracy %v after churn rejoin", res.FinalAccuracy)
+	}
+}
+
+// TestRealtimeOmissionAccounted: an omission-Byzantine device trains but
+// withholds every upload; leaders absorb it and the run counts each omission.
+func TestRealtimeOmissionAccounted(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 6, 1, 0)
+	cfg.Quorum = 0.5
+	cfg.CollectTimeout = 200 * time.Millisecond
+	cfg.Faults = &fault.Plan{Seed: 3, OmitProb: map[int]float64{2: 1.0}}
+	res := runWithTimeout(t, cfg)
+	if res.Omitted == 0 {
+		t.Fatal("withheld uploads not counted")
+	}
+	if res.CompletedRounds != cfg.Rounds {
+		t.Fatalf("completed %d of %d rounds", res.CompletedRounds, cfg.Rounds)
+	}
+}
+
+// TestRealtimeDropsTerminate: message loss on the real channels (the plan's
+// per-send coins) must degrade rounds, never hang them.
+func TestRealtimeDropsTerminate(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 6, 1, 0)
+	cfg.Quorum = 0.5
+	cfg.CollectTimeout = 150 * time.Millisecond
+	cfg.Faults = &fault.Plan{Seed: 3, Drop: 0.3}
+	res := runWithTimeout(t, cfg)
+	if res.DroppedSends == 0 {
+		t.Fatal("no sends dropped at 30% loss")
+	}
+	if res.CompletedRounds == 0 && res.AbandonedRounds == 0 {
+		t.Fatal("rounds neither completed nor abandoned")
+	}
+}
+
+// TestRealtimeValidateRejectsFaultsWithoutTimeout: faults without a collect
+// timeout would be a guaranteed deadlock (channels cannot time out on their
+// own), so Validate must refuse the configuration up front.
+func TestRealtimeValidateRejectsFaultsWithoutTimeout(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 5, 1, 0)
+	cfg.Faults = &fault.Plan{Seed: 1, Drop: 0.1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("fault plan without CollectTimeout accepted")
+	}
+	cfg.CollectTimeout = 100 * time.Millisecond
+	cfg.TimeoutBackoff = 0.5
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("backoff below 1 accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package simnet
+
+import "abdhfl/internal/rng"
+
+// Fate is the transport-fault verdict for one message about to enter the
+// network: it may be dropped, duplicated (extra independent copies, each
+// with its own latency draw — which is also how reordering arises), or
+// delayed by an extra amount on top of the latency model.
+type Fate struct {
+	// Drop suppresses the message entirely.
+	Drop bool
+	// Duplicates is the number of EXTRA copies delivered (0 = exactly one
+	// delivery). Each copy draws its own latency, so copies reorder freely.
+	Duplicates int
+	// ExtraDelay is added to every copy's delivery delay (virtual ms); it
+	// models transient reordering-by-delay without duplicating.
+	ExtraDelay float64
+}
+
+// FaultModel decides per-message transport faults, the failure-side
+// counterpart of LatencyModel: where LatencyModel answers "when does this
+// message arrive", FaultModel answers "does it arrive at all, and how many
+// times". It is consulted once per Send with a dedicated random stream
+// (derived from the simulator's seed under the label "fault"), so enabling
+// faults never perturbs the latency draws of fault-free traffic and the
+// whole run stays bit-reproducible for a given seed.
+type FaultModel interface {
+	Fate(r *rng.RNG, from, to NodeID, at Time) Fate
+}
+
+// FateFunc adapts a function to the FaultModel interface.
+type FateFunc func(r *rng.RNG, from, to NodeID, at Time) Fate
+
+// Fate implements FaultModel.
+func (f FateFunc) Fate(r *rng.RNG, from, to NodeID, at Time) Fate { return f(r, from, to, at) }

@@ -1,0 +1,107 @@
+package simnet
+
+import (
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+func TestFaultModelDrop(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Fault = FateFunc(func(_ *rng.RNG, _, _ NodeID, _ Time) Fate {
+		return Fate{Drop: true}
+	})
+	n := &echoNode{}
+	s.Register(1, n)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "lost") })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.got) != 0 {
+		t.Fatalf("dropped message delivered: %v", n.got)
+	}
+	st := s.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	if st.Messages != 0 {
+		t.Fatalf("dropped message counted as sent: %d", st.Messages)
+	}
+}
+
+func TestFaultModelDuplicate(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Fault = FateFunc(func(_ *rng.RNG, _, _ NodeID, _ Time) Fate {
+		return Fate{Duplicates: 2}
+	})
+	n := &echoNode{}
+	s.Register(1, n)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "thrice") })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.got) != 3 {
+		t.Fatalf("%d deliveries, want 3 (original + 2 copies)", len(n.got))
+	}
+	st := s.Stats()
+	if st.Duplicated != 2 || st.Messages != 3 {
+		t.Fatalf("duplicated = %d, messages = %d", st.Duplicated, st.Messages)
+	}
+}
+
+func TestFaultModelExtraDelay(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Fault = FateFunc(func(_ *rng.RNG, _, _ NodeID, _ Time) Fate {
+		return Fate{ExtraDelay: 9}
+	})
+	n := &echoNode{}
+	s.Register(1, n)
+	s.ScheduleAt(0, 2, func(ctx *Context) { ctx.Send(1, "late") })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if n.times[0] != 10 { // 1 ms latency + 9 ms fault delay
+		t.Fatalf("delivery at %v, want 10", n.times[0])
+	}
+}
+
+func TestDroppedUnregisteredCounted(t *testing.T) {
+	s := New(Fixed(1), rng.New(1))
+	s.Inject(99, "void")
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().DroppedUnregistered; got != 1 {
+		t.Fatalf("dropped-unregistered = %d, want 1", got)
+	}
+}
+
+// TestFaultStreamDoesNotPerturbLatency pins the dedicated-stream contract: a
+// fault model that consumes random draws but faults nothing must leave every
+// latency draw — and so every delivery time — identical to a fault-free run.
+func TestFaultStreamDoesNotPerturbLatency(t *testing.T) {
+	run := func(withFaultModel bool) []Time {
+		s := New(Uniform{Min: 1, Max: 10}, rng.New(7))
+		if withFaultModel {
+			s.Fault = FateFunc(func(r *rng.RNG, _, _ NodeID, _ Time) Fate {
+				r.Float64() // consume fault-stream entropy
+				return Fate{}
+			})
+		}
+		n := &echoNode{}
+		s.Register(1, n)
+		for i := 0; i < 50; i++ {
+			s.Inject(1, i)
+		}
+		if _, err := s.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return n.times
+	}
+	plain, faulted := run(false), run(true)
+	for i := range plain {
+		if plain[i] != faulted[i] {
+			t.Fatalf("fault draws perturbed latency at %d: %v vs %v", i, plain[i], faulted[i])
+		}
+	}
+}

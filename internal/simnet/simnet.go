@@ -66,10 +66,20 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Stats aggregates traffic counters for communication-cost accounting.
+// Stats aggregates traffic counters for communication-cost accounting and
+// fault-injection audit: every message lost or multiplied by the fault
+// layer is counted, never silently discarded.
 type Stats struct {
-	Messages int   // messages delivered
+	Messages int   // messages enqueued for delivery
 	Volume   int64 // payload volume in abstract units (see Sim.SendVolume)
+	// Dropped counts messages suppressed by the fault model before entering
+	// the network.
+	Dropped int
+	// Duplicated counts the extra copies injected by the fault model.
+	Duplicated int
+	// DroppedUnregistered counts deliveries to nodes no handler is bound to
+	// (crashed or never-started nodes).
+	DroppedUnregistered int
 }
 
 // Sim is the simulator instance. It is not safe for concurrent use; node
@@ -81,7 +91,11 @@ type Sim struct {
 	nodes   map[NodeID]Handler
 	latency LatencyModel
 	rng     *rng.RNG
+	frng    *rng.RNG // dedicated stream for fault draws
 	stats   Stats
+	// Fault, if non-nil, is consulted for every sent message and may drop,
+	// duplicate, or delay it (see FaultModel). Set it before the first Send.
+	Fault FaultModel
 	// Trace, if non-nil, receives every delivered message.
 	Trace func(msg Message)
 	// MaxEvents guards against runaway protocols; zero means 10 million.
@@ -102,7 +116,7 @@ func New(latency LatencyModel, r *rng.RNG) *Sim {
 	if r == nil {
 		r = rng.New(0)
 	}
-	return &Sim{nodes: make(map[NodeID]Handler), latency: latency, rng: r}
+	return &Sim{nodes: make(map[NodeID]Handler), latency: latency, rng: r, frng: r.Derive("fault")}
 }
 
 // Register binds a handler to a node id, replacing any previous binding.
@@ -150,19 +164,37 @@ func (c *Context) After(d Time, fn TimerFunc) {
 }
 
 func (s *Sim) send(from, to NodeID, payload any, volume int64) {
-	d := s.latency.Delay(s.rng, from, to)
-	if d < 0 {
-		d = 0
-	}
-	if s.Bandwidth != nil {
-		if bw := s.Bandwidth(from, to); bw > 0 {
-			d += float64(volume) / bw
+	copies := 1
+	extra := 0.0
+	if s.Fault != nil {
+		f := s.Fault.Fate(s.frng, from, to, s.now)
+		if f.Drop {
+			s.stats.Dropped++
+			return
+		}
+		if f.Duplicates > 0 {
+			copies += f.Duplicates
+			s.stats.Duplicated += f.Duplicates
+		}
+		if f.ExtraDelay > 0 {
+			extra = f.ExtraDelay
 		}
 	}
-	m := &Message{From: from, To: to, Payload: payload, SentAt: s.now, At: s.now + Time(d)}
-	s.stats.Messages++
-	s.stats.Volume += volume
-	s.schedule(&event{at: m.At, msg: m, node: to})
+	for c := 0; c < copies; c++ {
+		d := s.latency.Delay(s.rng, from, to) + extra
+		if d < 0 {
+			d = 0
+		}
+		if s.Bandwidth != nil {
+			if bw := s.Bandwidth(from, to); bw > 0 {
+				d += float64(volume) / bw
+			}
+		}
+		m := &Message{From: from, To: to, Payload: payload, SentAt: s.now, At: s.now + Time(d)}
+		s.stats.Messages++
+		s.stats.Volume += volume
+		s.schedule(&event{at: m.At, msg: m, node: to})
+	}
 }
 
 func (s *Sim) schedule(e *event) {
@@ -214,7 +246,11 @@ func (s *Sim) Run(until Time) (int, error) {
 		}
 		h, ok := s.nodes[e.node]
 		if !ok {
-			continue // message to an unregistered node is dropped
+			// Message to an unregistered (crashed / never-started) node: the
+			// delivery is lost, and — unlike the seed's bare continue — the
+			// loss is counted so runners can surface it in their summaries.
+			s.stats.DroppedUnregistered++
+			continue
 		}
 		if s.Trace != nil {
 			s.Trace(*e.msg)
