@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench clean
+.PHONY: build test race vet verify verify-scale bench clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ race:
 
 # verify is the tier-1 gate: everything must pass before a commit.
 verify: vet build race
+
+# verify-scale gates the million-device layer: shard-count and rerun
+# invariance of the sharded event engine, lazy≡eager state equality, cohort
+# accounting (core + scale engine), all under -race, then a one-shot
+# devices/sec benchmark smoke at 100k devices.
+verify-scale:
+	$(GO) test -race -run 'Shard|ParallelFold|EventPool|PeakQueue|Cohort|Scale|Stream|DeriveN|ChoiceInto' \
+		./internal/simnet ./internal/rng ./internal/telemetry ./internal/core ./internal/experiments
+	$(GO) test -run '^$$' -bench ScaleDevicesPerSec -benchtime 1x ./internal/experiments
 
 # bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
 bench:

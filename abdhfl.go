@@ -136,6 +136,11 @@ type Scenario struct {
 	EvalEvery int
 	Seed      uint64
 	Workers   int
+	// Cohort is the number of devices deterministically sampled to train per
+	// bottom cluster per round (cross-device client sampling); zero — the
+	// default — trains every device, reproducing the paper's full-participation
+	// evaluation bit-for-bit.
+	Cohort int
 }
 
 // WithDefaults returns a copy of s with zero fields replaced by the paper's
@@ -425,6 +430,7 @@ func (m *Materials) CoreConfig(seed uint64) core.Config {
 		EvalEvery:        m.Scenario.EvalEvery,
 		Workers:          m.Scenario.Workers,
 		Quorum:           m.Scenario.Quorum,
+		Cohort:           m.Scenario.Cohort,
 		Telemetry:        m.Telemetry,
 		OnFilter:         m.OnFilter,
 	}
@@ -454,6 +460,7 @@ func (m *Materials) RunVanilla(seed uint64) (*core.Result, error) {
 		Seed:        seed,
 		EvalEvery:   m.Scenario.EvalEvery,
 		Workers:     m.Scenario.Workers,
+		Cohort:      m.Scenario.Cohort,
 		Telemetry:   m.Telemetry,
 		OnFilter:    m.OnFilter,
 	})

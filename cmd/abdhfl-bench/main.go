@@ -3,7 +3,7 @@
 // regressions can be tracked run-over-run (the repository keeps the numbers
 // for each optimisation PR in BENCH_<n>.json at the repo root).
 //
-//	abdhfl-bench                         # Table5 cells + Fig3 + kernels + telemetry tax
+//	abdhfl-bench                         # Table5 cells + Fig3 + kernels + telemetry tax + 100k-device scale
 //	abdhfl-bench -bench '.' -count 3     # everything, three samples each
 //	abdhfl-bench -pkg ./internal/aggregate -bench AggregateRules
 //	abdhfl-bench -bench TelemetryOverhead -count 5   # telemetry-overhead arms only
@@ -22,14 +22,17 @@ import (
 	"strings"
 )
 
-// Result is one benchmark line of `go test -bench -benchmem` output.
+// Result is one benchmark line of `go test -bench -benchmem` output. Custom
+// metrics reported via b.ReportMetric (e.g. the scale engine's "devices/sec")
+// land in Extra keyed by their unit string.
 type Result struct {
-	Name        string  `json:"name"`
-	Pkg         string  `json:"pkg,omitempty"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the file format: the environment lines go test prints plus every
@@ -44,10 +47,10 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules|TelemetryOverhead", "go test -bench regexp")
+	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules|TelemetryOverhead|ScaleDevicesPerSec|ShardedQueue", "go test -bench regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".,./internal/aggregate", "comma-separated packages to benchmark")
+	pkg := flag.String("pkg", ".,./internal/aggregate,./internal/experiments,./internal/simnet", "comma-separated packages to benchmark")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -174,6 +177,11 @@ func parseLine(line string) (Result, bool) {
 			r.BytesPerOp = v
 		case "allocs/op":
 			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = v
 		}
 	}
 	return r, r.NsPerOp != 0

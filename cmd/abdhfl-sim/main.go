@@ -34,6 +34,7 @@ func main() {
 		proto     = flag.String("protocol", "voting", "top-level CBA protocol ('' = BRA top)")
 		scheme    = flag.Int("scheme", 0, "Table III scheme override (1-4, 0 = explicit rules)")
 		quorum    = flag.Float64("quorum", 1, "collection quorum φ")
+		cohort    = flag.Int("cohort", 0, "devices sampled to train per bottom cluster per round (0 = everyone)")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		engine    = flag.String("engine", "rounds", "engine: rounds | pipeline | realtime")
 		flagLvl   = flag.Int("flaglevel", 1, "flag level for async engines")
@@ -63,6 +64,7 @@ func main() {
 		TopProtocol:       *proto,
 		Scheme:            *scheme,
 		Quorum:            *quorum,
+		Cohort:            *cohort,
 		Seed:              *seed,
 		EvalEvery:         5,
 	}.WithDefaults()

@@ -129,6 +129,13 @@ type Config struct {
 	// Clusters whose members are all offline contribute no partial model;
 	// the level above simply aggregates fewer inputs.
 	Churn ChurnModel
+	// Cohort is the number of trainers deterministically sampled from each
+	// bottom cluster per round (cross-device FL's client sampling). Devices
+	// outside the round's cohort contribute no update — attack placement and
+	// filter auditing see only the sampled subset — and hold no materialized
+	// model state, which is what lets runs scale far past the worker count.
+	// Zero (or >= cluster size) trains every member, the original behaviour.
+	Cohort int
 }
 
 // ChurnModel describes per-round device availability.
@@ -193,6 +200,9 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: Churn.OfflineProb %v out of [0,1)", p)
 		}
 	}
+	if c.Cohort < 0 {
+		return fmt.Errorf("core: Cohort %d must be >= 0", c.Cohort)
+	}
 	return nil
 }
 
@@ -244,4 +254,13 @@ type Result struct {
 	// ExcludedByConsensus counts proposals the top-level CBA ruled out
 	// across all rounds (0 for BRA tops).
 	ExcludedByConsensus int
+	// TrainerActivations counts device-train events across the run (devices
+	// × rounds when nothing limits participation; fewer under churn or
+	// cohort sampling).
+	TrainerActivations int
+	// TrainerBuffers is the number of update buffers the engine
+	// materialized over the whole run. Idle devices hold no model vector, so
+	// with cohort sampling this tracks the per-round active set, not the
+	// device count — the lazy-state guarantee the scale tests pin.
+	TrainerBuffers int
 }

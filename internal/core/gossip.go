@@ -46,6 +46,12 @@ type GossipConfig struct {
 	// contributors.
 	Telemetry *telemetry.Registry
 	OnFilter  func(telemetry.FilterDecision)
+	// Cohort is the number of devices deterministically sampled to TRAIN per
+	// round; zero (or >= the device count) trains everyone. Unsampled
+	// devices still gossip, contributing their current (stale) model to
+	// their neighbours' aggregations — the flat-topology analogue of
+	// cross-device client sampling.
+	Cohort int
 }
 
 // Validate reports configuration errors.
@@ -142,8 +148,11 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			tRound = time.Now()
 			tPhase = tRound
 		}
-		// Local training: each device trains its own current model.
-		trainLocalFrom(trainer, hcfg, params, trained, roundRNG)
+		// Local training: each sampled device trains its own current model;
+		// benched devices carry their stale model into the exchange.
+		skip := drawGossipSkip(cfg, roundRNG, devices)
+		trainLocalFrom(trainer, hcfg, params, trained, skip, roundRNG)
+		res.TrainerActivations += devices - len(skip)
 		if ins.enabled() {
 			ins.observePhase(phaseTrain, time.Since(tPhase))
 			tPhase = time.Now()
@@ -210,8 +219,11 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 // trainLocalFrom is localTrainer.round with per-device start parameters
 // (gossip has no shared global model). out buffers are reused across rounds:
 // gossip aggregation copies every kept model's values into its own output
-// buffer, so trained vectors are never retained past the round.
-func trainLocalFrom(t *localTrainer, cfg Config, starts, out []tensor.Vector, roundRNG *rng.RNG) {
+// buffer, so trained vectors are never retained past the round. Skipped
+// devices copy their start model into their out buffer unchanged — they
+// gossip a stale model instead of a fresh one. (The copy, rather than an
+// alias, keeps out buffers disjoint from the aggregation double-buffers.)
+func trainLocalFrom(t *localTrainer, cfg Config, starts, out []tensor.Vector, skip map[int]bool, roundRNG *rng.RNG) {
 	devices := len(starts)
 	jobs := make(chan int)
 	done := make(chan struct{})
@@ -227,10 +239,39 @@ func trainLocalFrom(t *localTrainer, cfg Config, starts, out []tensor.Vector, ro
 		}(t.models[w], t.wss[w])
 	}
 	for id := 0; id < devices; id++ {
+		if skip[id] {
+			if out[id] == nil {
+				out[id] = tensor.NewVector(len(starts[id]))
+			}
+			copy(out[id], starts[id])
+			continue
+		}
 		jobs <- id
 	}
 	close(jobs)
 	for range t.models {
 		<-done
 	}
+}
+
+// drawGossipSkip benches every device outside the round's deterministic
+// k-cohort (nil when cohort sampling is off).
+func drawGossipSkip(cfg GossipConfig, roundRNG *rng.RNG, devices int) map[int]bool {
+	if cfg.Cohort <= 0 || cfg.Cohort >= devices {
+		return nil
+	}
+	r := roundRNG.Derive("cohort")
+	pick := make([]int, cfg.Cohort)
+	r.ChoiceInto(pick, devices, make([]int, devices))
+	in := make([]bool, devices)
+	for _, p := range pick {
+		in[p] = true
+	}
+	skip := make(map[int]bool, devices-cfg.Cohort)
+	for id := 0; id < devices; id++ {
+		if !in[id] {
+			skip[id] = true
+		}
+	}
+	return skip
 }

@@ -90,12 +90,13 @@ func RunHFL(cfg Config) (*Result, error) {
 			tree = rotated
 		}
 
-		// --- Availability churn (Assumption 3): offline devices skip the
-		// round entirely.
-		offline := drawOffline(cfg, roundRNG, devices)
+		// --- Availability churn (Assumption 3) and cohort sampling: offline
+		// and unsampled devices skip the round entirely.
+		skip := drawSkip(cfg, roundRNG, tree, drawOffline(cfg, roundRNG, devices))
 
 		// --- Local model training (Algorithm 2) over a worker pool.
-		trainer.round(cfg, globalParams, updates, offline, roundRNG)
+		trainer.round(cfg, globalParams, updates, skip, roundRNG)
+		res.TrainerActivations += len(trainer.active)
 
 		// --- Model-update attacks by Byzantine devices (omniscient model).
 		if cfg.ModelAttack != nil {
@@ -209,6 +210,7 @@ func RunHFL(cfg Config) (*Result, error) {
 		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy
 	}
 	res.FinalParams = globalParams
+	res.TrainerBuffers = trainer.allocated
 	return res, nil
 }
 
@@ -222,27 +224,29 @@ func childIndex(tree *topology.Tree, c *topology.Cluster, mi int) int {
 	return children[mi].Index
 }
 
-// localTrainer owns the per-worker training models/workspaces and the
-// per-device update buffers, all reused across rounds. Every device still
-// derives its own random stream, so results are independent of both worker
-// count and job scheduling; the reuse only removes the per-round
-// model/gradient/activation allocations that previously dominated the GC
-// profile.
+// localTrainer owns the per-worker training models/workspaces and a pool of
+// update buffers handed out only to the round's active trainers. Every
+// device still derives its own random stream, so results are independent of
+// both worker count and job scheduling. Idle devices hold NO model vector:
+// a buffer exists only between a device's activation and the next round's
+// reclaim, so a cohort-sampled run materializes ~active-set buffers instead
+// of one per device — the lazy-state half of the million-device scale-out.
 type localTrainer struct {
 	models []*nn.Model
 	wss    []*nn.Workspace
-	// bufs[id] is device id's flat-parameter buffer; updates[id] aliases it
-	// on rounds the device is online. Downstream aggregation never retains
-	// update vectors across rounds (all rules copy into fresh outputs), so
-	// the buffers are free for reuse each round.
-	bufs []tensor.Vector
+	// pool holds reclaimed update buffers; active lists the ids whose
+	// buffers are currently lent out (reclaimed at the next round call,
+	// AFTER aggregation has consumed them — all rules copy into their own
+	// outputs, never retaining update vectors across rounds).
+	pool      []tensor.Vector
+	active    []int
+	allocated int // total buffers ever materialized (Result.TrainerBuffers)
 }
 
 func newLocalTrainer(sizes []int, workers, devices int) *localTrainer {
 	t := &localTrainer{
 		models: make([]*nn.Model, workers),
 		wss:    make([]*nn.Workspace, workers),
-		bufs:   make([]tensor.Vector, devices),
 	}
 	for w := 0; w < workers; w++ {
 		t.models[w] = nn.NewShaped(sizes...)
@@ -251,9 +255,38 @@ func newLocalTrainer(sizes []int, workers, devices int) *localTrainer {
 	return t
 }
 
-// round runs every online device's local SGD over the worker pool and stores
-// flattened parameter updates (offline devices get nil).
-func (t *localTrainer) round(cfg Config, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG) {
+// take hands out a pooled buffer, or nil — the worker's ParamsInto then
+// allocates one, which counts as a materialization. Called only from the
+// scheduling goroutine.
+func (t *localTrainer) take() tensor.Vector {
+	if n := len(t.pool); n > 0 {
+		v := t.pool[n-1]
+		t.pool[n-1] = nil
+		t.pool = t.pool[:n-1]
+		return v
+	}
+	t.allocated++
+	return nil
+}
+
+// reclaim returns the previous round's lent-out buffers to the pool. The
+// slots may hold different vectors than were lent (the attack layer swaps in
+// same-dimension poisoned vectors); whatever is there is recycled.
+func (t *localTrainer) reclaim(updates []tensor.Vector) {
+	for _, id := range t.active {
+		if updates[id] != nil {
+			t.pool = append(t.pool, updates[id])
+			updates[id] = nil
+		}
+	}
+	t.active = t.active[:0]
+}
+
+// round runs every active device's local SGD over the worker pool and stores
+// flattened parameter updates (skipped devices — offline or outside the
+// round's cohort — get nil).
+func (t *localTrainer) round(cfg Config, start tensor.Vector, updates []tensor.Vector, skip map[int]bool, roundRNG *rng.RNG) {
+	t.reclaim(updates)
 	devices := len(updates)
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -265,16 +298,20 @@ func (t *localTrainer) round(cfg Config, start tensor.Vector, updates []tensor.V
 				m.SetParams(start)
 				r := roundRNG.Derive(fmt.Sprintf("device-%d", id))
 				nn.SGDWS(m, ws, cfg.ClientData[id], cfg.Local, r)
-				t.bufs[id] = m.ParamsInto(t.bufs[id])
-				updates[id] = t.bufs[id]
+				updates[id] = m.ParamsInto(updates[id])
 			}
 		}(t.models[w], t.wss[w])
 	}
 	for id := 0; id < devices; id++ {
-		if offline[id] {
+		if skip[id] {
 			updates[id] = nil
 			continue
 		}
+		// Assign the buffer before dispatch: the channel send orders the
+		// write against the worker's read, and pool/active stay owned by
+		// this goroutine.
+		updates[id] = t.take()
+		t.active = append(t.active, id)
 		jobs <- id
 	}
 	close(jobs)
@@ -283,8 +320,8 @@ func (t *localTrainer) round(cfg Config, start tensor.Vector, updates []tensor.V
 
 // trainLocal is the one-shot form of localTrainer.round, kept for engines
 // without per-round state (vanilla).
-func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.Vector, offline map[int]bool, roundRNG *rng.RNG, workers int) {
-	newLocalTrainer(sizes, workers, len(updates)).round(cfg, start, updates, offline, roundRNG)
+func trainLocal(cfg Config, sizes []int, start tensor.Vector, updates []tensor.Vector, skip map[int]bool, roundRNG *rng.RNG, workers int) {
+	newLocalTrainer(sizes, workers, len(updates)).round(cfg, start, updates, skip, roundRNG)
 }
 
 // drawOffline samples the round's offline set deterministically.
@@ -300,6 +337,52 @@ func drawOffline(cfg Config, roundRNG *rng.RNG, devices int) map[int]bool {
 		}
 	}
 	return offline
+}
+
+// drawSkip composes the round's non-training set: offline devices plus, when
+// cohort sampling is on, every bottom-cluster member outside its cluster's
+// deterministically sampled k-cohort. Each cluster draws from its own
+// derived stream, so the sample is independent of cluster iteration order
+// and of every other random draw in the round.
+func drawSkip(cfg Config, roundRNG *rng.RNG, tree *topology.Tree, offline map[int]bool) map[int]bool {
+	if cfg.Cohort <= 0 {
+		return offline
+	}
+	skip := make(map[int]bool, len(offline))
+	for id := range offline {
+		skip[id] = true
+	}
+	bottom := tree.Clusters[tree.Bottom()]
+	maxSize := 0
+	for _, c := range bottom {
+		if c.Size() > maxSize {
+			maxSize = c.Size()
+		}
+	}
+	pick := make([]int, 0, cfg.Cohort)
+	scratch := make([]int, maxSize)
+	for ci, c := range bottom {
+		k := cfg.Cohort
+		if k >= c.Size() {
+			continue // whole cluster trains
+		}
+		r := roundRNG.DeriveN("cohort", uint64(ci))
+		pick = pick[:k]
+		r.ChoiceInto(pick, c.Size(), scratch)
+		in := scratch[:c.Size()]
+		for i := range in {
+			in[i] = 0
+		}
+		for _, p := range pick {
+			in[p] = 1
+		}
+		for mi, m := range c.Members {
+			if in[mi] == 0 {
+				skip[m] = true
+			}
+		}
+	}
+	return skip
 }
 
 // applyModelAttack replaces Byzantine devices' updates with attacked

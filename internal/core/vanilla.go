@@ -39,6 +39,11 @@ type VanillaConfig struct {
 	// everything at level 0 with client ids as contributor ids).
 	Telemetry *telemetry.Registry
 	OnFilter  func(telemetry.FilterDecision)
+	// Cohort is the number of clients deterministically sampled to train per
+	// round (cross-device FL's client sampling); zero (or >= the client
+	// count) trains everyone. The server aggregates only the cohort's
+	// updates, and the filter audit reports the sampled client ids.
+	Cohort int
 }
 
 // Validate reports configuration errors.
@@ -107,7 +112,8 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			tRound = time.Now()
 			tPhase = tRound
 		}
-		trainer.round(hcfg, globalParams, updates, nil, roundRNG)
+		trainer.round(hcfg, globalParams, updates, drawVanillaSkip(cfg, roundRNG, clients), roundRNG)
+		res.TrainerActivations += len(trainer.active)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
 		}
@@ -119,14 +125,30 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			globalBufs[round%2] = tensor.NewVector(len(globalParams))
 		}
 		agg := globalBufs[round%2]
-		if err := cfg.Aggregator.AggregateInto(agg, aggScratch, updates); err != nil {
+		inputs := updates
+		var ids []int
+		if cfg.Cohort > 0 && cfg.Cohort < clients {
+			// Aggregate only the cohort's updates, reporting the sampled
+			// client ids to the filter audit.
+			vecs := make([]tensor.Vector, 0, cfg.Cohort)
+			ids = make([]int, 0, cfg.Cohort)
+			for id, u := range updates {
+				if u != nil {
+					vecs = append(vecs, u)
+					ids = append(ids, id)
+				}
+			}
+			inputs = vecs
+		}
+		if err := cfg.Aggregator.AggregateInto(agg, aggScratch, inputs); err != nil {
 			return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
 		}
-		// No churn in the star baseline, so update positions are client ids.
-		fe.emitAudit(0, 0, round, nil)
+		// Without cohort sampling there is no churn in the star baseline, so
+		// update positions are client ids and ids stays nil.
+		fe.emitAudit(0, 0, round, ids)
 		globalParams = agg
-		// Star topology: every client uploads, the server broadcasts back.
-		res.Comm.ModelTransfers += 2 * clients
+		// Star topology: every participant uploads, the server broadcasts back.
+		res.Comm.ModelTransfers += 2 * len(inputs)
 		if ins.enabled() {
 			ins.observePhase(phaseAggregate, time.Since(tPhase))
 			tPhase = time.Now()
@@ -142,12 +164,35 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			}
 		}
 		if ins.enabled() {
-			ins.roundDone(time.Since(tRound), CommStats{ModelTransfers: 2 * clients})
+			ins.roundDone(time.Since(tRound), CommStats{ModelTransfers: 2 * len(inputs)})
 		}
 	}
 	if len(res.Curve) > 0 {
 		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy
 	}
 	res.FinalParams = globalParams
+	res.TrainerBuffers = trainer.allocated
 	return res, nil
+}
+
+// drawVanillaSkip benches every client outside the round's deterministic
+// k-cohort (nil when cohort sampling is off — everyone trains).
+func drawVanillaSkip(cfg VanillaConfig, roundRNG *rng.RNG, clients int) map[int]bool {
+	if cfg.Cohort <= 0 || cfg.Cohort >= clients {
+		return nil
+	}
+	r := roundRNG.Derive("cohort")
+	pick := make([]int, cfg.Cohort)
+	r.ChoiceInto(pick, clients, make([]int, clients))
+	skip := make(map[int]bool, clients-cfg.Cohort)
+	in := make([]bool, clients)
+	for _, p := range pick {
+		in[p] = true
+	}
+	for id := 0; id < clients; id++ {
+		if !in[id] {
+			skip[id] = true
+		}
+	}
+	return skip
 }

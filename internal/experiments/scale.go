@@ -1,0 +1,602 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"abdhfl/internal/aggregate"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/simnet"
+	"abdhfl/internal/telemetry"
+	"abdhfl/internal/tensor"
+	"abdhfl/internal/topology"
+)
+
+// ScaleOptions parameterises RunScale: a million-device-class discrete-event
+// simulation of one ABD-HFL deployment. Devices are synthetic — an idle
+// device exists only as an id plus derived randomness; a model vector is
+// materialized from a pool solely for the rounds a device is sampled into
+// its cluster's cohort — so the simulated population can exceed the
+// process's memory budget for real models by orders of magnitude. The run
+// exercises the real machinery everywhere it matters: the sharded simnet
+// queue carries every upload and dissemination, cluster aggregation calls
+// the real robust rules with filter auditing, and timing is accounted with
+// the paper's σ quantities as streaming aggregates.
+type ScaleOptions struct {
+	Depth   int     // tree levels (>= 2); 0 -> 3
+	Fanout  int     // ECSM cluster size m; 0 -> 8
+	Devices int     // minimum device count (top width derived); 0 -> 100_000
+	Gamma   float64 // Byzantine device fraction in [0, 1)
+	Cohort  int     // trainers sampled per bottom cluster per round; 0 -> 4
+	Rounds  int     // global rounds; 0 -> 5
+	Dim     int     // synthetic update dimension; 0 -> 16
+	Rule    string  // aggregate.ByName rule for every level; "" -> "median"
+	Shards  int     // simnet event-queue shards; 0 -> 8
+	Workers int     // simnet queue fold workers; 0 -> 4
+	Seed    uint64
+	// Eager pre-materializes one update buffer per device — the reference
+	// mode the lazy-state equality test compares against. Results are
+	// bit-identical to the lazy default; only BuffersAllocated changes.
+	Eager bool
+	// Telemetry, if non-nil, receives queue and σ gauges after the run.
+	Telemetry *telemetry.Registry
+}
+
+func (o *ScaleOptions) defaults() {
+	if o.Depth == 0 {
+		o.Depth = 3
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 8
+	}
+	if o.Devices == 0 {
+		o.Devices = 100_000
+	}
+	if o.Cohort == 0 {
+		o.Cohort = 4
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 5
+	}
+	if o.Dim == 0 {
+		o.Dim = 16
+	}
+	if o.Rule == "" {
+		o.Rule = "median"
+	}
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+}
+
+// ScaleResult is the outcome of one scale simulation. Every field except
+// Elapsed/DevicesPerSec is a pure function of the options — byte-identical
+// across reruns and shard counts — so result tables stay diffable.
+type ScaleResult struct {
+	Options  ScaleOptions
+	Devices  int // devices actually built (>= Options.Devices)
+	Clusters int // total clusters across all levels
+	// RelErr is ‖global − g‖/‖g‖ of the final round's global model against
+	// the synthetic ground-truth gradient — the scalar the γ sweep watches:
+	// robust rules hold it near the honest noise floor until the tolerance
+	// bound is crossed.
+	RelErr float64
+	// Levels[l] scores level l's filter decisions against ground truth
+	// (bottom: the device is Byzantine; upper: a strict majority of the
+	// child subtree's sampled leaves was).
+	Levels []LevelScore
+	// Activations counts device-train events; BuffersAllocated counts
+	// update vectors materialized (≈ peak concurrent cohort when lazy,
+	// exactly Devices when Eager).
+	Activations      int
+	BuffersAllocated int
+	Events           int // simnet events processed
+	Net              simnet.Stats
+	// SigmaW/SigmaP/SigmaG summarize the paper's pipeline timing quantities
+	// as streaming aggregates: intra-cluster collection spread, partial
+	// ascent latency, and global round duration (virtual ms).
+	SigmaW, SigmaP, SigmaG telemetry.StreamSnapshot
+
+	Elapsed time.Duration // wall clock of the event loop (nondeterministic)
+	// DevicesPerSec is simulated device-rounds per wall-clock second:
+	// Devices × Rounds / Elapsed. The population counts, not just active
+	// trainers — supporting a device cheaply while it idles is the point.
+	DevicesPerSec float64
+}
+
+// scaleMsg is a partial model ascending one level, carrying the sampled-leaf
+// Byzantine census its subtree saw (the upper-level audit ground truth).
+type scaleMsg struct {
+	level, index int
+	round        int
+	vec          tensor.Vector
+	byzLeaves    int
+	totLeaves    int
+}
+
+// scaleGlobal is the dissemination broadcast starting the next round.
+type scaleGlobal struct{ round int }
+
+// scaleEngine holds the run-wide state shared by all cluster actors.
+// Dispatch is serial (simnet's contract), so no locking anywhere.
+type scaleEngine struct {
+	o    ScaleOptions
+	tree *topology.Tree
+	sim  *simnet.Sim
+	root *rng.RNG
+	agg  aggregate.Aggregator
+	scr  *aggregate.Scratch
+
+	nodeOf [][]simnet.NodeID
+
+	g     tensor.Vector // ground-truth gradient direction
+	gNorm float64
+
+	pool      []tensor.Vector
+	eagerBufs []tensor.Vector
+	allocated int
+
+	levels                 []LevelScore
+	sigmaW, sigmaP, sigmaG telemetry.Stream
+	activations            int
+	relErr                 float64
+	roundsDone             int
+	lastGlobalAt           simnet.Time
+}
+
+// isByz derives device d's Byzantine flag from the placement stream — no
+// per-device map, so the predicate costs nothing while devices idle.
+func (e *scaleEngine) isByz(d int) bool {
+	if e.o.Gamma <= 0 {
+		return false
+	}
+	return e.root.DeriveN("byz", uint64(d)).Float64() < e.o.Gamma
+}
+
+// take materializes an update buffer: pooled when lazy, the device's
+// preallocated slot when eager.
+func (e *scaleEngine) take(device int) tensor.Vector {
+	if e.o.Eager {
+		return e.eagerBufs[device]
+	}
+	if n := len(e.pool); n > 0 {
+		v := e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		return v
+	}
+	e.allocated++
+	return tensor.NewVector(e.o.Dim)
+}
+
+// release returns a buffer to the pool (no-op when eager: the device owns
+// its slot).
+func (e *scaleEngine) release(v tensor.Vector) {
+	if !e.o.Eager {
+		e.pool = append(e.pool, v)
+	}
+}
+
+// fill writes device d's round-r update into v: the ground-truth gradient
+// plus per-device noise for honest devices, an amplified sign-flip for
+// Byzantine ones. Values depend only on (seed, round, device), never on
+// materialization order or buffer identity — the invariant that makes lazy
+// and eager modes bit-identical.
+func (e *scaleEngine) fill(v tensor.Vector, round, d int, byz bool) {
+	r := e.root.DeriveN("round", uint64(round)).DeriveN("upd", uint64(d))
+	if byz {
+		for j := range v {
+			v[j] = -3*e.g[j] + 0.1*r.NormFloat64()
+		}
+		return
+	}
+	for j := range v {
+		v[j] = e.g[j] + 0.5*r.NormFloat64()
+	}
+}
+
+// scaleActor simulates one cluster: the bottom level collects its sampled
+// cohort's uploads and aggregates; upper levels collect child partials.
+type scaleActor struct {
+	eng          *scaleEngine
+	level, index int
+	cluster      *topology.Cluster
+	parent       simnet.NodeID
+	childIDs     []simnet.NodeID // upper levels: child cluster actors
+	expect       int             // inputs per round (cohort size or child count)
+
+	round         int
+	vecs          []tensor.Vector
+	truth         []bool // per input: ground-truth maliciousness
+	first, last   simnet.Time
+	partial       tensor.Vector
+	byzSampled    int // Byzantine sampled leaves seen this round
+	totSampled    int // total sampled leaves seen this round
+	pick, scratch []int // bottom: cohort draw buffers
+	out           scaleMsg // reused ascend payload (safe: consumed before next round)
+}
+
+func (a *scaleActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
+	switch m := msg.Payload.(type) {
+	case *scaleMsg:
+		a.onPartial(ctx, msg, m)
+	case scaleGlobal:
+		a.onGlobal(ctx, m)
+	default:
+		panic(fmt.Sprintf("scale: unexpected payload %T", msg.Payload))
+	}
+}
+
+// startRound samples the bottom cluster's cohort and schedules each sampled
+// device's upload arrival (local training time plus uplink).
+func (a *scaleActor) startRound(ctx *simnet.Context, round int) {
+	e := a.eng
+	a.round = round
+	a.resetRound()
+	rr := e.root.DeriveN("round", uint64(round))
+	k := a.expect
+	cr := rr.DeriveN("cohort", uint64(a.index))
+	a.pick = a.pick[:k]
+	if k >= a.cluster.Size() {
+		for i := range a.pick {
+			a.pick[i] = i
+		}
+	} else {
+		cr.ChoiceInto(a.pick, a.cluster.Size(), a.scratch)
+	}
+	for _, mi := range a.pick {
+		d := a.cluster.Members[mi]
+		dr := rr.DeriveN("dev", uint64(d))
+		// Local training duration plus uplink latency, virtual ms. Drawn
+		// from the device's own derived stream so arrival times are
+		// independent of scheduling and shard layout.
+		delay := simnet.Time(40 + 160*dr.Float64() + 1 + 9*dr.Float64())
+		device := d
+		ctx.After(delay, func(ctx *simnet.Context) {
+			a.onArrival(ctx, device)
+		})
+	}
+}
+
+func (a *scaleActor) resetRound() {
+	a.vecs = a.vecs[:0]
+	a.truth = a.truth[:0]
+	a.byzSampled, a.totSampled = 0, 0
+	a.first, a.last = 0, 0
+}
+
+// onArrival materializes one sampled device's update as it lands at the
+// leader — the lazy-state moment: before this event and after this round's
+// aggregation the device holds no vector.
+func (a *scaleActor) onArrival(ctx *simnet.Context, device int) {
+	e := a.eng
+	now := ctx.Now()
+	if len(a.vecs) == 0 {
+		a.first = now
+	}
+	a.last = now
+	byz := e.isByz(device)
+	v := e.take(device)
+	e.fill(v, a.round, device, byz)
+	e.activations++
+	a.vecs = append(a.vecs, v)
+	a.truth = append(a.truth, byz)
+	a.totSampled++
+	if byz {
+		a.byzSampled++
+	}
+	if len(a.vecs) == a.expect {
+		e.sigmaW.Observe(float64(a.last - a.first))
+		a.aggregate(ctx)
+		for _, u := range a.vecs {
+			e.release(u)
+		}
+		a.resetRound()
+	}
+}
+
+// onPartial collects one child cluster's partial model at an upper level.
+func (a *scaleActor) onPartial(ctx *simnet.Context, msg simnet.Message, m *scaleMsg) {
+	e := a.eng
+	if m.round != a.round {
+		panic(fmt.Sprintf("scale: cluster (%d,%d) got round %d partial during round %d",
+			a.level, a.index, m.round, a.round))
+	}
+	e.sigmaP.Observe(float64(msg.At - msg.SentAt))
+	a.vecs = append(a.vecs, m.vec)
+	// Upper-level ground truth: the subtree's sampled leaves were
+	// majority-Byzantine (below that, the level below is expected to have
+	// cleaned the partial).
+	a.truth = append(a.truth, 2*m.byzLeaves > m.totLeaves)
+	a.totSampled += m.totLeaves
+	a.byzSampled += m.byzLeaves
+	if len(a.vecs) == a.expect {
+		a.aggregate(ctx)
+		a.resetRound()
+		a.round++
+	}
+}
+
+// aggregate runs the robust rule over the collected inputs, scores the
+// filter audit against ground truth, and either ascends the partial or — at
+// the top — closes the round and disseminates.
+func (a *scaleActor) aggregate(ctx *simnet.Context) {
+	e := a.eng
+	if err := e.agg.AggregateInto(a.partial, e.scr, a.vecs); err != nil {
+		panic(fmt.Sprintf("scale: cluster (%d,%d): %v", a.level, a.index, err))
+	}
+	s := &e.levels[a.level]
+	for i, d := range e.scr.Audit.Decisions {
+		flagged := d != aggregate.DecisionKept
+		switch {
+		case flagged && a.truth[i]:
+			s.TP++
+		case flagged:
+			s.FP++
+		case a.truth[i]:
+			s.FN++
+		default:
+			s.TN++
+		}
+	}
+	if a.level > 0 {
+		a.out = scaleMsg{
+			level: a.level, index: a.index, round: a.round,
+			vec: a.partial, byzLeaves: a.byzSampled, totLeaves: a.totSampled,
+		}
+		ctx.SendVolume(a.parent, &a.out, int64(e.o.Dim))
+		return
+	}
+	// Top of the tree: the global model for this round is formed.
+	now := ctx.Now()
+	e.sigmaG.Observe(float64(now - e.lastGlobalAt))
+	e.lastGlobalAt = now
+	e.relErr = relativeError(a.partial, e.g, e.gNorm)
+	e.roundsDone++
+	if e.roundsDone < e.o.Rounds {
+		a.disseminate(ctx, a.round+1)
+	}
+}
+
+// onGlobal forwards the dissemination broadcast down the tree; bottom
+// clusters start the next round on receipt.
+func (a *scaleActor) onGlobal(ctx *simnet.Context, m scaleGlobal) {
+	if len(a.childIDs) > 0 {
+		a.disseminate(ctx, m.round)
+		a.round = m.round
+		return
+	}
+	a.startRound(ctx, m.round)
+}
+
+func (a *scaleActor) disseminate(ctx *simnet.Context, round int) {
+	for _, id := range a.childIDs {
+		ctx.SendVolume(id, scaleGlobal{round: round}, int64(a.eng.o.Dim))
+	}
+}
+
+func relativeError(got, want tensor.Vector, wantNorm float64) float64 {
+	s := 0.0
+	for j := range got {
+		d := got[j] - want[j]
+		s += d * d
+	}
+	return math.Sqrt(s) / wantNorm
+}
+
+// RunScale builds the topology, wires one simnet actor per cluster, and
+// drives Rounds global rounds through the sharded event engine.
+func RunScale(o ScaleOptions) (*ScaleResult, error) {
+	o.defaults()
+	if o.Depth < 2 {
+		return nil, fmt.Errorf("scale: Depth %d < 2", o.Depth)
+	}
+	if o.Gamma < 0 || o.Gamma >= 1 {
+		return nil, fmt.Errorf("scale: Gamma %v out of [0,1)", o.Gamma)
+	}
+	agg, err := aggregate.ByName(o.Rule)
+	if err != nil {
+		return nil, err
+	}
+	// Top width: smallest top cluster giving at least o.Devices leaves.
+	perTop := 1
+	for l := 1; l < o.Depth; l++ {
+		perTop *= o.Fanout
+	}
+	topNodes := (o.Devices + perTop - 1) / perTop
+	if topNodes < 1 {
+		topNodes = 1
+	}
+	tree, err := topology.NewECSM(o.Depth, o.Fanout, topNodes)
+	if err != nil {
+		return nil, err
+	}
+	if o.Cohort > o.Fanout {
+		o.Cohort = o.Fanout
+	}
+
+	root := rng.New(o.Seed)
+	e := &scaleEngine{
+		o:      o,
+		tree:   tree,
+		root:   root,
+		agg:    agg,
+		scr:    aggregate.NewScratch(1),
+		levels: make([]LevelScore, tree.Depth()),
+	}
+	e.scr.Audit = &aggregate.FilterAudit{}
+	for l := range e.levels {
+		e.levels[l].Level = l
+	}
+	// Ground-truth gradient: a fixed random direction of unit-ish scale.
+	gr := root.Derive("gradient")
+	e.g = tensor.NewVector(o.Dim)
+	for j := range e.g {
+		e.g[j] = gr.NormFloat64()
+	}
+	e.gNorm = math.Sqrt(dot(e.g, e.g))
+	if e.gNorm == 0 {
+		e.gNorm = 1
+	}
+	devices := tree.NumDevices()
+	if o.Eager {
+		e.eagerBufs = make([]tensor.Vector, devices)
+		for d := range e.eagerBufs {
+			e.eagerBufs[d] = tensor.NewVector(o.Dim)
+		}
+		e.allocated = devices
+	}
+
+	// One simnet node per cluster, level-major.
+	e.sim = simnet.NewSharded(simnet.Uniform{Min: 1, Max: 15}, root.Derive("net"), o.Shards, o.Workers)
+	e.nodeOf = make([][]simnet.NodeID, tree.Depth())
+	next := simnet.NodeID(0)
+	for l := range tree.Clusters {
+		e.nodeOf[l] = make([]simnet.NodeID, len(tree.Clusters[l]))
+		for i := range tree.Clusters[l] {
+			e.nodeOf[l][i] = next
+			next++
+		}
+	}
+	clusters := int(next)
+	actors := make([]*scaleActor, 0, clusters)
+	bottom := tree.Bottom()
+	for l := range tree.Clusters {
+		for i, c := range tree.Clusters[l] {
+			a := &scaleActor{
+				eng: e, level: l, index: i, cluster: c,
+				partial: tensor.NewVector(o.Dim),
+			}
+			if l > 0 {
+				p := tree.Parent(l, i)
+				a.parent = e.nodeOf[p.Level][p.Index]
+			}
+			if l == bottom {
+				a.expect = o.Cohort
+				if a.expect > c.Size() {
+					a.expect = c.Size()
+				}
+				a.pick = make([]int, 0, c.Size())
+				a.scratch = make([]int, c.Size())
+			}
+			actors = append(actors, a)
+			e.sim.Register(e.nodeOf[l][i], a)
+		}
+	}
+	// Child links (upper levels) and expected input counts.
+	for l := 1; l < tree.Depth(); l++ {
+		for i := range tree.Clusters[l] {
+			p := tree.Parent(l, i)
+			pa := actors[int(e.nodeOf[p.Level][p.Index])]
+			pa.childIDs = append(pa.childIDs, e.nodeOf[l][i])
+		}
+	}
+	for _, a := range actors {
+		if a.level != bottom {
+			a.expect = len(a.childIDs)
+		}
+	}
+
+	// Generous livelock guard: arrivals + ascents + dissemination per round.
+	sampled := 0
+	for _, c := range tree.Clusters[bottom] {
+		k := o.Cohort
+		if k > c.Size() {
+			k = c.Size()
+		}
+		sampled += k
+	}
+	e.sim.MaxEvents = 8 * o.Rounds * (sampled + 3*clusters + 16)
+
+	// Kick off round 0 at every bottom cluster.
+	for i := range tree.Clusters[bottom] {
+		a := actors[int(e.nodeOf[bottom][i])]
+		id := e.nodeOf[bottom][i]
+		e.sim.ScheduleAt(0, id, func(ctx *simnet.Context) {
+			a.startRound(ctx, 0)
+		})
+	}
+
+	start := time.Now()
+	events, err := e.sim.Run(0)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	if e.roundsDone != o.Rounds {
+		return nil, fmt.Errorf("scale: completed %d of %d rounds (events %d)", e.roundsDone, o.Rounds, events)
+	}
+
+	res := &ScaleResult{
+		Options:          o,
+		Devices:          devices,
+		Clusters:         clusters,
+		RelErr:           e.relErr,
+		Levels:           e.levels,
+		Activations:      e.activations,
+		BuffersAllocated: e.allocated,
+		Events:           events,
+		Net:              e.sim.Stats(),
+		SigmaW:           e.sigmaW.Snapshot(),
+		SigmaP:           e.sigmaP.Snapshot(),
+		SigmaG:           e.sigmaG.Snapshot(),
+		Elapsed:          elapsed,
+	}
+	if elapsed > 0 {
+		res.DevicesPerSec = float64(devices) * float64(o.Rounds) / elapsed.Seconds()
+	}
+	if reg := o.Telemetry; reg != nil {
+		reg.Gauge(`abdhfl_scale_devices`).Set(float64(devices))
+		reg.Gauge(`abdhfl_scale_peak_queue`).Set(float64(res.Net.PeakQueue))
+		reg.Gauge(`abdhfl_scale_rel_err`).Set(res.RelErr)
+		reg.Gauge(`abdhfl_scale_sigma_w_mean`).Set(res.SigmaW.Mean)
+		reg.Gauge(`abdhfl_scale_sigma_p_mean`).Set(res.SigmaP.Mean)
+		reg.Gauge(`abdhfl_scale_sigma_g_mean`).Set(res.SigmaG.Mean)
+	}
+	return res, nil
+}
+
+func dot(a, b tensor.Vector) float64 {
+	s := 0.0
+	for j := range a {
+		s += a[j] * b[j]
+	}
+	return s
+}
+
+// Row renders the deterministic slice of the result as table cells (wall
+// clock and devices/sec are excluded so result files stay diffable).
+func (r *ScaleResult) Row() []string {
+	bottom := r.Levels[len(r.Levels)-1]
+	return []string{
+		fmt.Sprintf("%d", r.Options.Depth),
+		fmt.Sprintf("%d", r.Options.Fanout),
+		fmt.Sprintf("%d", r.Devices),
+		fmt.Sprintf("%.2f", r.Options.Gamma),
+		fmt.Sprintf("%d", r.Options.Cohort),
+		r.Options.Rule,
+		fmt.Sprintf("%.4f", r.RelErr),
+		metrics.Pct(bottom.Precision()),
+		metrics.Pct(bottom.Recall()),
+		fmt.Sprintf("%d", r.Activations),
+		fmt.Sprintf("%d", r.BuffersAllocated),
+		fmt.Sprintf("%d", r.Events),
+		fmt.Sprintf("%d", r.Net.PeakQueue),
+		fmt.Sprintf("%.1f", r.SigmaW.Mean),
+		fmt.Sprintf("%.1f", r.SigmaG.Mean),
+	}
+}
+
+// ScaleTableHeader matches ScaleResult.Row.
+func ScaleTableHeader() []string {
+	return []string{
+		"depth", "m", "devices", "gamma", "cohort", "rule", "rel_err",
+		"bottom_prec", "bottom_recall", "activations", "buffers",
+		"events", "peak_queue", "sigma_w", "sigma_g",
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// smallScale is a topology that exercises every moving part (3 levels,
+// cohort sampling, Byzantine placement) while staying test-suite fast.
+func smallScale() ScaleOptions {
+	return ScaleOptions{
+		Depth:   3,
+		Fanout:  4,
+		Devices: 2000,
+		Gamma:   0.2,
+		Cohort:  2,
+		Rounds:  3,
+		Dim:     8,
+		Rule:    "median",
+		Seed:    11,
+	}
+}
+
+// deterministicView strips the wall-clock fields so runs can be compared.
+func deterministicView(r *ScaleResult) ScaleResult {
+	v := *r
+	v.Elapsed = 0
+	v.DevicesPerSec = 0
+	return v
+}
+
+func mustRunScale(t *testing.T, o ScaleOptions) *ScaleResult {
+	t.Helper()
+	res, err := RunScale(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScaleDeterministicAcrossShardCounts(t *testing.T) {
+	base := smallScale()
+	base.Shards = 1
+	base.Workers = 1
+	ref := deterministicView(mustRunScale(t, base))
+	for _, cfg := range []struct{ shards, workers int }{{4, 2}, {16, 8}} {
+		o := smallScale()
+		o.Shards = cfg.shards
+		o.Workers = cfg.workers
+		got := deterministicView(mustRunScale(t, o))
+		// Options differ by construction; compare everything else.
+		got.Options, ref.Options = ScaleOptions{}, ScaleOptions{}
+		if fmtScale(got) != fmtScale(ref) {
+			t.Fatalf("shards=%d: result diverged\n got %+v\nwant %+v", cfg.shards, got, ref)
+		}
+	}
+}
+
+func TestScaleDeterministicAcrossReruns(t *testing.T) {
+	a := deterministicView(mustRunScale(t, smallScale()))
+	b := deterministicView(mustRunScale(t, smallScale()))
+	if fmtScale(a) != fmtScale(b) {
+		t.Fatalf("rerun diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// fmtScale renders every deterministic field, including nested stats and σ
+// snapshots, for whole-result comparison.
+func fmtScale(r ScaleResult) string { return fmt.Sprintf("%+v", r) }
+
+func TestScaleLazyMatchesEager(t *testing.T) {
+	lazy := smallScale()
+	eager := smallScale()
+	eager.Eager = true
+	a := mustRunScale(t, lazy)
+	b := mustRunScale(t, eager)
+	// σ accounting, filter precision/recall, and the model error must be
+	// bit-identical: buffer identity never leaks into results.
+	if a.RelErr != b.RelErr {
+		t.Fatalf("RelErr diverged: %v vs %v", a.RelErr, b.RelErr)
+	}
+	if a.SigmaW != b.SigmaW || a.SigmaP != b.SigmaP || a.SigmaG != b.SigmaG {
+		t.Fatal("σ streams diverged between lazy and eager state")
+	}
+	for l := range a.Levels {
+		if a.Levels[l] != b.Levels[l] {
+			t.Fatalf("level %d filter score diverged: %+v vs %+v", l, a.Levels[l], b.Levels[l])
+		}
+	}
+	if a.Activations != b.Activations || a.Events != b.Events || a.Net != b.Net {
+		t.Fatal("simulation trajectory diverged between lazy and eager state")
+	}
+	// The lazy engine must materialize far fewer buffers than one per
+	// device; eager materializes exactly one per device.
+	if b.BuffersAllocated != b.Devices {
+		t.Fatalf("eager allocated %d buffers for %d devices", b.BuffersAllocated, b.Devices)
+	}
+	if a.BuffersAllocated >= b.BuffersAllocated {
+		t.Fatalf("lazy allocated %d buffers, eager %d: laziness lost", a.BuffersAllocated, b.BuffersAllocated)
+	}
+}
+
+func TestScaleCohortBoundsActivations(t *testing.T) {
+	o := smallScale()
+	res := mustRunScale(t, o)
+	bottomClusters := res.Devices / o.Fanout
+	want := o.Cohort * bottomClusters * o.Rounds
+	if res.Activations != want {
+		t.Fatalf("Activations = %d, want %d (cohort %d × %d clusters × %d rounds)",
+			res.Activations, want, o.Cohort, bottomClusters, o.Rounds)
+	}
+	if res.Net.PeakQueue == 0 {
+		t.Fatal("PeakQueue gauge not populated")
+	}
+}
+
+func TestScaleGammaDegradesError(t *testing.T) {
+	clean := smallScale()
+	clean.Gamma = 0
+	dirty := smallScale()
+	dirty.Gamma = 0.45 // near the tolerance cliff for median
+	a := mustRunScale(t, clean)
+	b := mustRunScale(t, dirty)
+	if a.RelErr >= b.RelErr {
+		t.Fatalf("rel_err did not grow with γ: clean %v, γ=0.45 %v", a.RelErr, b.RelErr)
+	}
+	if a.RelErr > 0.5 {
+		t.Fatalf("clean rel_err %v too large: aggregation broken", a.RelErr)
+	}
+}
+
+func TestScaleOptionValidation(t *testing.T) {
+	bad := smallScale()
+	bad.Gamma = 1.5
+	if _, err := RunScale(bad); err == nil {
+		t.Fatal("Gamma 1.5 accepted")
+	}
+	bad = smallScale()
+	bad.Rule = "no-such-rule"
+	if _, err := RunScale(bad); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+// BenchmarkScaleDevicesPerSec is the headline devices/sec benchmark: a
+// 100k-device deployment driven through the sharded engine. The custom
+// metric reports simulated device-rounds per wall-clock second.
+func BenchmarkScaleDevicesPerSec(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("devices=100k/shards=%d", shards), func(b *testing.B) {
+			o := ScaleOptions{
+				Devices: 100_000,
+				Gamma:   0.1,
+				Rounds:  2,
+				Shards:  shards,
+				Seed:    3,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last *ScaleResult
+			for i := 0; i < b.N; i++ {
+				res, err := RunScale(o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.DevicesPerSec, "devices/sec")
+			b.ReportMetric(float64(last.Devices), "devices")
+		})
+	}
+}

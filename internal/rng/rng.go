@@ -149,3 +149,69 @@ func (r *RNG) Choice(n, k int) []int {
 	p := r.Perm(n)
 	return p[:k]
 }
+
+// DeriveN returns a deterministic sub-generator identified by (label, n) —
+// the numeric counterpart of Derive for per-index streams. Like Derive it
+// does not advance the receiver, and it allocates no intermediate string, so
+// hot loops can derive per-device streams without a fmt.Sprintf per call.
+//
+// DeriveN(label, n) and Derive(label + strconv(n)) are distinct streams;
+// callers must pick one convention per stream family and keep it.
+func (r *RNG) DeriveN(label string, n uint64) *RNG {
+	h := r.state
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001B3
+	}
+	// Fold the index byte-wise so all 64 bits participate.
+	for i := 0; i < 8; i++ {
+		h = (h ^ (n & 0xFF)) * 0x100000001B3
+		n >>= 8
+	}
+	h += gamma
+	h = (h ^ (h >> 30)) * mixA
+	h = (h ^ (h >> 27)) * mixB
+	return &RNG{state: h ^ (h >> 31)}
+}
+
+// PermInto fills p (treated as having length n = len(p)) with a random
+// permutation of [0, n) using Fisher-Yates, allocating nothing.
+func (r *RNG) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ChoiceInto samples k = len(dst) distinct indices uniformly from [0, n)
+// into dst using a partial Fisher-Yates over the caller's scratch slice,
+// which must have length >= n; scratch contents are overwritten. Neither
+// slice is allocated, so per-cluster cohort draws stay allocation-free even
+// with hundreds of thousands of clusters.
+//
+// The first k elements drawn match Choice(n, k) exactly when k == n; for
+// k < n the draw is still uniform but the stream consumption differs from
+// Choice (k steps instead of n-1), which is why the cohort machinery uses
+// ChoiceInto exclusively.
+func (r *RNG) ChoiceInto(dst []int, n int, scratch []int) {
+	k := len(dst)
+	if k > n {
+		panic("rng: ChoiceInto with k > n")
+	}
+	if len(scratch) < n {
+		panic("rng: ChoiceInto scratch shorter than n")
+	}
+	s := scratch[:n]
+	for i := range s {
+		s[i] = i
+	}
+	// Partial Fisher-Yates: after i swaps, s[:i] is a uniform i-subset in
+	// uniform order.
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		s[i], s[j] = s[j], s[i]
+	}
+	copy(dst, s[:k])
+}

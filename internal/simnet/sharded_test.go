@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+// chatterNode bounces messages around a ring and records every delivery, so
+// a full run produces a complete causal trace of the simulation.
+type chatterNode struct {
+	id    NodeID
+	peers int
+	hops  int
+	trace *strings.Builder
+}
+
+func (n *chatterNode) OnMessage(ctx *Context, msg Message) {
+	fmt.Fprintf(n.trace, "t=%.6f %d->%d hop=%v\n", float64(msg.At), msg.From, msg.To, msg.Payload)
+	hop := msg.Payload.(int)
+	if hop >= n.hops {
+		return
+	}
+	// Fan out to two peers plus a timer, to mix message and timer events.
+	ctx.Send(NodeID((int(n.id)+1)%n.peers), hop+1)
+	ctx.Send(NodeID((int(n.id)+7)%n.peers), hop+1)
+	ctx.After(Time(0.5), func(ctx *Context) {
+		fmt.Fprintf(n.trace, "t=%.6f timer@%d\n", float64(ctx.Now()), ctx.Self())
+	})
+}
+
+// runTrace runs a seeded multi-node exchange on a simulator with the given
+// shard/worker counts and returns the full delivery trace.
+func runTrace(t *testing.T, shards, workers int) (string, Stats) {
+	t.Helper()
+	var trace strings.Builder
+	sim := NewSharded(Uniform{Min: 0.5, Max: 5}, rng.New(42), shards, workers)
+	const peers = 64
+	for i := 0; i < peers; i++ {
+		sim.Register(NodeID(i), &chatterNode{id: NodeID(i), peers: peers, hops: 6, trace: &trace})
+	}
+	for i := 0; i < peers; i += 3 {
+		sim.Inject(NodeID(i), 0)
+	}
+	if _, err := sim.Run(0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return trace.String(), sim.Stats()
+}
+
+// TestShardCountInvariance pins the determinism contract of the sharded
+// queue: the same seed must produce a byte-identical delivery trace and
+// identical stats at shards=1, 4, and 16.
+func TestShardCountInvariance(t *testing.T) {
+	ref, refStats := runTrace(t, 1, 1)
+	if ref == "" {
+		t.Fatal("empty reference trace")
+	}
+	for _, cfg := range []struct{ shards, workers int }{{4, 1}, {4, 4}, {16, 8}} {
+		got, gotStats := runTrace(t, cfg.shards, cfg.workers)
+		if got != ref {
+			t.Fatalf("shards=%d workers=%d: trace diverged from shards=1", cfg.shards, cfg.workers)
+		}
+		if gotStats != refStats {
+			t.Fatalf("shards=%d workers=%d: stats %+v != %+v", cfg.shards, cfg.workers, gotStats, refStats)
+		}
+	}
+}
+
+// TestShardCountInvarianceRerun pins rerun determinism: the same seed and
+// shard count twice in a row must match byte-for-byte.
+func TestShardCountInvarianceRerun(t *testing.T) {
+	a, _ := runTrace(t, 8, 4)
+	b, _ := runTrace(t, 8, 4)
+	if a != b {
+		t.Fatal("seeded rerun diverged")
+	}
+}
+
+// TestPeakQueueGauge checks the queue high-water mark: scheduling n timers
+// before running must report a peak of at least n, and the gauge must be
+// shard-count independent.
+func TestPeakQueueGauge(t *testing.T) {
+	peaks := make([]int, 0, 3)
+	for _, shards := range []int{1, 4, 16} {
+		sim := NewSharded(Fixed(1), rng.New(7), shards, 2)
+		sink := handlerFunc(func(ctx *Context, msg Message) {})
+		sim.Register(0, sink)
+		const n = 1000
+		for i := 0; i < n; i++ {
+			sim.ScheduleAt(Time(i), 0, func(ctx *Context) {})
+		}
+		if got := sim.Stats().PeakQueue; got < n {
+			t.Fatalf("shards=%d: PeakQueue=%d, want >= %d", shards, got, n)
+		}
+		if _, err := sim.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		peaks = append(peaks, sim.Stats().PeakQueue)
+	}
+	if peaks[0] != peaks[1] || peaks[1] != peaks[2] {
+		t.Fatalf("PeakQueue varies with shard count: %v", peaks)
+	}
+}
+
+type handlerFunc func(ctx *Context, msg Message)
+
+func (f handlerFunc) OnMessage(ctx *Context, msg Message) { f(ctx, msg) }
+
+// TestEventPoolReuse verifies the freelist actually recycles events: after a
+// burst drains, a second burst of the same size must not grow the pool's
+// total footprint (allocations amortize to zero in steady state).
+func TestEventPoolReuse(t *testing.T) {
+	sim := New(Fixed(1), rng.New(1))
+	sim.Register(0, handlerFunc(func(ctx *Context, msg Message) {}))
+	burst := func() {
+		for i := 0; i < 500; i++ {
+			sim.Inject(0, i)
+		}
+		if _, err := sim.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	burst()
+	free := len(sim.q.free)
+	if free == 0 {
+		t.Fatal("freelist empty after drain; events not recycled")
+	}
+	burst()
+	if got := len(sim.q.free); got != free {
+		t.Fatalf("freelist grew across equal bursts: %d -> %d (pool not reused)", free, got)
+	}
+}
+
+// TestParallelFoldUnderRace drives a burst past parallelFoldThreshold with
+// multiple workers and shards so the worker-parallel fold path runs; under
+// `go test -race` this validates the fold's no-shared-state claim.
+func TestParallelFoldUnderRace(t *testing.T) {
+	sim := NewSharded(Fixed(1), rng.New(3), 16, 8)
+	var delivered int
+	sink := handlerFunc(func(ctx *Context, msg Message) { delivered++ })
+	const nodes = 256
+	for i := 0; i < nodes; i++ {
+		sim.Register(NodeID(i), sink)
+	}
+	total := 2 * parallelFoldThreshold
+	for i := 0; i < total; i++ {
+		sim.Inject(NodeID(i%nodes), i)
+	}
+	if _, err := sim.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != total {
+		t.Fatalf("delivered %d of %d", delivered, total)
+	}
+}
+
+// BenchmarkShardedQueue measures raw event throughput of the sharded engine
+// at a scale where the seed's single heap was the bottleneck.
+func BenchmarkShardedQueue(b *testing.B) {
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sim := NewSharded(Fixed(1), rng.New(1), shards, 4)
+			relay := handlerFunc(func(ctx *Context, msg Message) {
+				hop := msg.Payload.(int)
+				if hop > 0 {
+					ctx.Send((ctx.Self()+1)%1024, hop-1)
+				}
+			})
+			for i := 0; i < 1024; i++ {
+				sim.Register(NodeID(i), relay)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 1024; j++ {
+					sim.Inject(NodeID(j), 64)
+				}
+				if _, err := sim.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

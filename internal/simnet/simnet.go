@@ -5,10 +5,15 @@
 // (arbitrary, finite, unbounded delivery time) maps onto unbounded latency
 // distributions; determinism makes the pipeline timing quantities of the
 // paper (σ_w, σ_p, σ_g, ν) exactly reproducible.
+//
+// The event queue is sharded (see queue.go) and event structs are pooled, so
+// dispatch stays allocation-free and the engine scales to million-device
+// topologies. Shard count never changes delivery order: events are totally
+// ordered by (time, schedule sequence) and the cross-shard merge pops them
+// in exactly that order.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 
 	"abdhfl/internal/rng"
@@ -37,33 +42,15 @@ type Handler interface {
 // TimerFunc is a scheduled callback.
 type TimerFunc func(ctx *Context)
 
-// event is a queue entry: either a message delivery or a timer.
+// event is a queue entry: either a message delivery or a timer (timer != nil
+// discriminates). The Message is embedded by value — events are pooled and a
+// pointer here would force a second allocation per send.
 type event struct {
 	at    Time
 	seq   uint64 // tie-break so simultaneous events fire in schedule order
-	msg   *Message
+	msg   Message
 	timer TimerFunc
 	node  NodeID
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
 }
 
 // Stats aggregates traffic counters for communication-cost accounting and
@@ -80,19 +67,27 @@ type Stats struct {
 	// DroppedUnregistered counts deliveries to nodes no handler is bound to
 	// (crashed or never-started nodes).
 	DroppedUnregistered int
+	// PeakQueue is the high-water mark of simultaneously pending events —
+	// the gauge chaos runs watch to spot queue blow-ups. It is identical for
+	// every shard count because insert/remove accounting is global.
+	PeakQueue int
 }
 
 // Sim is the simulator instance. It is not safe for concurrent use; node
-// handlers run sequentially in virtual-time order.
+// handlers run sequentially in virtual-time order. (The queue may fold large
+// insert bursts worker-parallel internally, but dispatch is serial.)
 type Sim struct {
-	now     Time
-	seq     uint64
-	queue   eventQueue
-	nodes   map[NodeID]Handler
-	latency LatencyModel
-	rng     *rng.RNG
-	frng    *rng.RNG // dedicated stream for fault draws
-	stats   Stats
+	now Time
+	seq uint64
+	q   *shardedQueue
+	// nodes is a dense registry for the common non-negative ids; negNodes
+	// catches the rare negative ids (external actors).
+	nodes    []Handler
+	negNodes map[NodeID]Handler
+	latency  LatencyModel
+	rng      *rng.RNG
+	frng     *rng.RNG // dedicated stream for fault draws
+	stats    Stats
 	// Fault, if non-nil, is consulted for every sent message and may drop,
 	// duplicate, or delay it (see FaultModel). Set it before the first Send.
 	Fault FaultModel
@@ -108,25 +103,70 @@ type Sim struct {
 	Bandwidth func(from, to NodeID) float64
 }
 
-// New returns a simulator using the given latency model and random stream.
+// New returns a simulator using the given latency model and random stream,
+// with a single queue shard — the right default for small topologies.
 func New(latency LatencyModel, r *rng.RNG) *Sim {
+	return NewSharded(latency, r, 1, 1)
+}
+
+// NewSharded returns a simulator whose event queue is split across the given
+// number of shards (clamped to [1,256], rounded up to a power of two) and
+// which may use up to workers goroutines to fold large event bursts into the
+// shard heaps. Delivery order — and therefore every seeded result — is
+// byte-identical for any shards/workers combination; the knobs trade only
+// wall-clock speed at scale.
+func NewSharded(latency LatencyModel, r *rng.RNG, shards, workers int) *Sim {
 	if latency == nil {
 		latency = Fixed(1)
 	}
 	if r == nil {
 		r = rng.New(0)
 	}
-	return &Sim{nodes: make(map[NodeID]Handler), latency: latency, rng: r, frng: r.Derive("fault")}
+	return &Sim{
+		q:       newShardedQueue(shards, workers),
+		latency: latency,
+		rng:     r,
+		frng:    r.Derive("fault"),
+	}
 }
 
 // Register binds a handler to a node id, replacing any previous binding.
-func (s *Sim) Register(id NodeID, h Handler) { s.nodes[id] = h }
+func (s *Sim) Register(id NodeID, h Handler) {
+	if id < 0 {
+		if s.negNodes == nil {
+			s.negNodes = make(map[NodeID]Handler)
+		}
+		s.negNodes[id] = h
+		return
+	}
+	if int(id) >= len(s.nodes) {
+		grown := make([]Handler, int(id)+1)
+		copy(grown, s.nodes)
+		s.nodes = grown
+	}
+	s.nodes[id] = h
+}
+
+// handlerFor returns the handler bound to id, or nil.
+func (s *Sim) handlerFor(id NodeID) Handler {
+	if id < 0 {
+		return s.negNodes[id]
+	}
+	if int(id) >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[id]
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
 
 // Stats returns the traffic counters accumulated so far.
-func (s *Sim) Stats() Stats { return s.stats }
+func (s *Sim) Stats() Stats {
+	st := s.stats
+	st.PeakQueue = s.q.peak
+	return st
+}
 
 // Context is the API a handler uses to interact with the simulator during an
 // event callback.
@@ -160,7 +200,12 @@ func (c *Context) After(d Time, fn TimerFunc) {
 	if d < 0 {
 		panic("simnet: negative timer delay")
 	}
-	c.sim.schedule(&event{at: c.sim.now + d, timer: fn, node: c.self})
+	s := c.sim
+	e := s.q.get()
+	e.at = s.now + d
+	e.timer = fn
+	e.node = c.self
+	s.schedule(e)
 }
 
 func (s *Sim) send(from, to NodeID, payload any, volume int64) {
@@ -190,17 +235,21 @@ func (s *Sim) send(from, to NodeID, payload any, volume int64) {
 				d += float64(volume) / bw
 			}
 		}
-		m := &Message{From: from, To: to, Payload: payload, SentAt: s.now, At: s.now + Time(d)}
+		at := s.now + Time(d)
 		s.stats.Messages++
 		s.stats.Volume += volume
-		s.schedule(&event{at: m.At, msg: m, node: to})
+		e := s.q.get()
+		e.at = at
+		e.msg = Message{From: from, To: to, Payload: payload, SentAt: s.now, At: at}
+		e.node = to
+		s.schedule(e)
 	}
 }
 
 func (s *Sim) schedule(e *event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.q.add(e)
 }
 
 // Inject delivers a payload to a node from the outside world (NodeID -1) at
@@ -214,7 +263,11 @@ func (s *Sim) ScheduleAt(at Time, id NodeID, fn TimerFunc) {
 	if at < s.now {
 		panic("simnet: ScheduleAt in the past")
 	}
-	s.schedule(&event{at: at, timer: fn, node: id})
+	e := s.q.get()
+	e.at = at
+	e.timer = fn
+	e.node = id
+	s.schedule(e)
 }
 
 // Run processes events until the queue is empty or until virtual time
@@ -226,39 +279,48 @@ func (s *Sim) Run(until Time) (int, error) {
 		maxEvents = 10_000_000
 	}
 	processed := 0
-	for s.queue.Len() > 0 {
-		e := heap.Pop(&s.queue).(*event)
+	for {
+		e := s.q.popMin()
+		if e == nil {
+			break
+		}
 		if until > 0 && e.at > until {
-			// Push back so a later Run can resume from here.
-			heap.Push(&s.queue, e)
+			// Push back (seq preserved) so a later Run can resume from here.
+			s.q.add(e)
 			s.now = until
 			return processed, nil
 		}
 		s.now = e.at
 		processed++
 		if processed > maxEvents {
+			s.q.put(e)
 			return processed, fmt.Errorf("simnet: exceeded %d events (livelock?)", maxEvents)
 		}
 		ctx := &Context{sim: s, self: e.node}
 		if e.timer != nil {
-			e.timer(ctx)
+			fn := e.timer
+			s.q.put(e)
+			fn(ctx)
 			continue
 		}
-		h, ok := s.nodes[e.node]
-		if !ok {
+		h := s.handlerFor(e.node)
+		if h == nil {
 			// Message to an unregistered (crashed / never-started) node: the
 			// delivery is lost, and — unlike the seed's bare continue — the
 			// loss is counted so runners can surface it in their summaries.
 			s.stats.DroppedUnregistered++
+			s.q.put(e)
 			continue
 		}
+		msg := e.msg
+		s.q.put(e)
 		if s.Trace != nil {
-			s.Trace(*e.msg)
+			s.Trace(msg)
 		}
-		h.OnMessage(ctx, *e.msg)
+		h.OnMessage(ctx, msg)
 	}
 	return processed, nil
 }
 
 // Pending reports whether undelivered events remain.
-func (s *Sim) Pending() bool { return s.queue.Len() > 0 }
+func (s *Sim) Pending() bool { return !s.q.empty() }

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"abdhfl/internal/rng"
+)
+
+func directStats(xs []float64) StreamSnapshot {
+	if len(xs) == 0 {
+		return StreamSnapshot{}
+	}
+	snap := StreamSnapshot{Count: int64(len(xs)), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, v := range xs {
+		sum += v
+		if v < snap.Min {
+			snap.Min = v
+		}
+		if v > snap.Max {
+			snap.Max = v
+		}
+	}
+	snap.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, v := range xs {
+			d := v - snap.Mean
+			ss += d * d
+		}
+		snap.Std = math.Sqrt(ss / float64(len(xs)))
+	}
+	return snap
+}
+
+func close64(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestStreamMatchesDirect(t *testing.T) {
+	r := rng.New(8)
+	xs := make([]float64, 10_000)
+	var s Stream
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		s.Observe(xs[i])
+	}
+	want := directStats(xs)
+	got := s.Snapshot()
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("count/min/max mismatch: %+v vs %+v", got, want)
+	}
+	if !close64(got.Mean, want.Mean) || !close64(got.Std, want.Std) {
+		t.Fatalf("mean/std mismatch: %+v vs %+v", got, want)
+	}
+}
+
+func TestStreamMergeMatchesCombined(t *testing.T) {
+	r := rng.New(9)
+	var a, b, all Stream
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		v := r.ExpFloat64() * 7
+		xs = append(xs, v)
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	a.Merge(&b)
+	got, want := a.Snapshot(), directStats(xs)
+	if got.Count != want.Count || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("merge count/min/max mismatch: %+v vs %+v", got, want)
+	}
+	if !close64(got.Mean, want.Mean) || !close64(got.Std, want.Std) {
+		t.Fatalf("merge mean/std mismatch: %+v vs %+v", got, want)
+	}
+}
+
+func TestStreamEdgeCases(t *testing.T) {
+	var nilStream *Stream
+	nilStream.Observe(1) // must not panic
+	nilStream.Merge(&Stream{})
+	if nilStream.Count() != 0 || nilStream.Snapshot() != (StreamSnapshot{}) {
+		t.Fatal("nil stream not inert")
+	}
+	var empty Stream
+	if empty.Snapshot() != (StreamSnapshot{}) {
+		t.Fatal("empty snapshot not zero")
+	}
+	var one Stream
+	one.Observe(42)
+	snap := one.Snapshot()
+	if snap.Count != 1 || snap.Mean != 42 || snap.Std != 0 || snap.Min != 42 || snap.Max != 42 {
+		t.Fatalf("single-sample snapshot wrong: %+v", snap)
+	}
+	// Merging into an empty stream copies.
+	var dst Stream
+	dst.Merge(&one)
+	if dst.Snapshot() != snap {
+		t.Fatal("merge into empty did not copy")
+	}
+	// Merging an empty stream is a no-op.
+	dst.Merge(&empty)
+	if dst.Snapshot() != snap {
+		t.Fatal("merging empty changed state")
+	}
+}
