@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify verify-scale bench clean
+.PHONY: build test race vet verify verify-scale verify-codec bench clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # verify is the tier-1 gate: everything must pass before a commit.
-verify: vet build race
+verify: vet build race verify-codec
 
 # verify-scale gates the million-device layer: shard-count and rerun
 # invariance of the sharded event engine, lazy≡eager state equality, cohort
@@ -30,6 +30,15 @@ verify-scale:
 	$(GO) test -race -run 'Shard|ParallelFold|EventPool|PeakQueue|Cohort|Scale|Stream|DeriveN|ChoiceInto' \
 		./internal/simnet ./internal/rng ./internal/telemetry ./internal/core ./internal/experiments
 	$(GO) test -run '^$$' -bench ScaleDevicesPerSec -benchtime 1x ./internal/experiments
+
+# verify-codec gates the update-codec layer: encode→decode round-trips and
+# corrupt-payload rejection, steady-state zero-allocation checks, golden
+# Identity bit-equivalence on every engine plus worker-count invariance of
+# the lossy codecs, and the bandwidth model's latency/fault-stream
+# invariance, all under -race.
+verify-codec:
+	$(GO) test -race -run 'Codec|RoundTrip|Alloc|Corrupt|NonFinite|ByName|Transcode|Bandwidth' \
+		./internal/codec ./internal/simnet ./internal/core ./internal/pipeline ./internal/realtime ./internal/experiments
 
 # bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
 bench:

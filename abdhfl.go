@@ -16,6 +16,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/core"
 	"abdhfl/internal/dataset"
@@ -136,6 +137,11 @@ type Scenario struct {
 	EvalEvery int
 	Seed      uint64
 	Workers   int
+	// Codec selects the update codec by registry name ("identity", "int8",
+	// "topk", "delta"); every model transfer then crosses one encode→decode
+	// hop and wire bytes are accounted. Empty — the default — runs the
+	// uncompressed model stream exactly as before.
+	Codec string
 	// Cohort is the number of devices deterministically sampled to train per
 	// bottom cluster per round (cross-device client sampling); zero — the
 	// default — trains every device, reproducing the paper's full-participation
@@ -247,6 +253,9 @@ type Materials struct {
 	// per-(level, cluster, round) filter verdict. Both default to off.
 	Telemetry *telemetry.Registry
 	OnFilter  func(telemetry.FilterDecision)
+	// Codec is the resolved update codec (nil when Scenario.Codec is empty),
+	// passed to every engine the materials drive.
+	Codec codec.Codec
 }
 
 // Build materialises a scenario deterministically from its seed.
@@ -306,6 +315,11 @@ func Build(s Scenario) (*Materials, error) {
 	}
 	if err := m.wireRules(); err != nil {
 		return nil, err
+	}
+	if s.Codec != "" {
+		if m.Codec, err = codec.ByName(s.Codec); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
@@ -433,6 +447,7 @@ func (m *Materials) CoreConfig(seed uint64) core.Config {
 		Cohort:           m.Scenario.Cohort,
 		Telemetry:        m.Telemetry,
 		OnFilter:         m.OnFilter,
+		Codec:            m.Codec,
 	}
 }
 
@@ -463,6 +478,7 @@ func (m *Materials) RunVanilla(seed uint64) (*core.Result, error) {
 		Cohort:      m.Scenario.Cohort,
 		Telemetry:   m.Telemetry,
 		OnFilter:    m.OnFilter,
+		Codec:       m.Codec,
 	})
 }
 
@@ -493,6 +509,7 @@ func (m *Materials) PipelineConfig(seed uint64, flagLevel int, timing pipeline.T
 		Workers:          m.Scenario.Workers,
 		Telemetry:        m.Telemetry,
 		OnFilter:         m.OnFilter,
+		Codec:            m.Codec,
 	}, nil
 }
 

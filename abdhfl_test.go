@@ -316,6 +316,7 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		MaliciousFraction: 0.3,
 		Rounds:            42,
 		Aggregator:        "median",
+		Codec:             "delta-topk",
 		Seed:              7,
 	}
 	var buf bytes.Buffer

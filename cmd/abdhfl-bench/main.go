@@ -3,7 +3,7 @@
 // regressions can be tracked run-over-run (the repository keeps the numbers
 // for each optimisation PR in BENCH_<n>.json at the repo root).
 //
-//	abdhfl-bench                         # Table5 cells + Fig3 + kernels + telemetry tax + 100k-device scale
+//	abdhfl-bench                         # Table5 cells + Fig3 + kernels + telemetry tax + 100k-device scale + codecs
 //	abdhfl-bench -bench '.' -count 3     # everything, three samples each
 //	abdhfl-bench -pkg ./internal/aggregate -bench AggregateRules
 //	abdhfl-bench -bench TelemetryOverhead -count 5   # telemetry-overhead arms only
@@ -47,10 +47,10 @@ type Report struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules|TelemetryOverhead|ScaleDevicesPerSec|ShardedQueue", "go test -bench regexp")
+	bench := flag.String("bench", "Table5Cell|Fig3Convergence|AggregateRules|TelemetryOverhead|ScaleDevicesPerSec|ShardedQueue|CodecThroughput", "go test -bench regexp")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 1, "go test -count value")
-	pkg := flag.String("pkg", ".,./internal/aggregate,./internal/experiments,./internal/simnet", "comma-separated packages to benchmark")
+	pkg := flag.String("pkg", ".,./internal/aggregate,./internal/codec,./internal/experiments,./internal/simnet", "comma-separated packages to benchmark")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 

@@ -1,0 +1,83 @@
+// Command abdhfl-codec runs the update-codec matrix: every registered codec
+// (bit-exact identity, int8 quantization, top-k sparsification, delta
+// against the last global) crossed with aggregation schemes and data
+// attacks, all on the asynchronous pipeline engine over a bandwidth-limited
+// network. Per cell it reports final accuracy, the codec's compression
+// ratio, wire kilobytes per round, the simulated round latency the byte
+// rate induces, and the bottom-level filter precision/recall against the
+// known Byzantine placement — so one table answers what compression costs
+// in robustness and buys in bandwidth.
+//
+// Every number is a pure function of -seed: running the command twice
+// produces byte-identical output (results_codec_matrix.txt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abdhfl/internal/experiments"
+	"abdhfl/internal/telemetry"
+)
+
+func main() {
+	var (
+		levels  = flag.Int("levels", 3, "tree depth")
+		m       = flag.Int("m", 4, "cluster size")
+		top     = flag.Int("top", 4, "top-level node count")
+		rounds  = flag.Int("rounds", 15, "global rounds")
+		samples = flag.Int("samples", 60, "samples per client")
+		seed    = flag.Uint64("seed", 1, "seed for data, schedule, and placement")
+		flagLvl = flag.Int("flag", 1, "flag level ℓ_F for all runs")
+		mal     = flag.Float64("malicious", 0.25, "poisoned-device fraction in attacked cells")
+		rate    = flag.Float64("rate", 1500, "link bandwidth in wire bytes per virtual ms")
+		overhd  = flag.Float64("overhead", 0.5, "fixed per-message overhead in virtual ms")
+		codecs  = flag.String("codecs", "", "comma-separated codec names (default: full registry)")
+		taddr   = flag.String("telemetry-addr", "",
+			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
+	)
+	flag.Parse()
+
+	var names []string
+	if *codecs != "" {
+		for _, tok := range strings.Split(*codecs, ",") {
+			names = append(names, strings.TrimSpace(tok))
+		}
+	}
+	fmt.Printf("Codec matrix — codec x scheme x attack, %d rounds, flag level %d, %.0f%% poisoned, %.0f B/vms, seed %d\n\n",
+		*rounds, *flagLvl, *mal*100, *rate, *seed)
+	results, err := experiments.RunCodecMatrix(experiments.CodecMatrixOptions{
+		Levels:      *levels,
+		ClusterSize: *m,
+		TopNodes:    *top,
+		Rounds:      *rounds,
+		Samples:     *samples,
+		Seed:        *seed,
+		FlagLevel:   *flagLvl,
+		Malicious:   *mal,
+		RateBytes:   *rate,
+		PerMessage:  *overhd,
+		Codecs:      names,
+		Telemetry:   telemetry.MaybeServe(*taddr),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiments.CodecMatrixTable(results).Render())
+	fmt.Println("\nIdentity is the uncompressed baseline: its rows reproduce the plain")
+	fmt.Println("pipeline results bit-for-bit, so every other codec's accuracy delta is")
+	fmt.Println("pure information loss. The byte-rate model converts compression ratio")
+	fmt.Println("into round latency: at this link rate, transfer time is one component")
+	fmt.Println("of the round alongside local training, so a ~7x smaller wire format")
+	fmt.Println("shortens the simulated round without collapsing it. Filter")
+	fmt.Println("precision/recall shows whether quantization or sparsification blurs the")
+	fmt.Println("geometry the robust rules rely on to separate poisoned updates from")
+	fmt.Println("honest ones.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abdhfl-codec:", err)
+	os.Exit(1)
+}

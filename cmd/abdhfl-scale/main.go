@@ -65,7 +65,8 @@ func main() {
 		*shards, *workers)
 
 	table := metrics.Table{Header: experiments.ScaleTableHeader()}
-	var totalDevices, totalEvents int
+	var totalDevices, totalEvents, maxPeakQueue int
+	var totalVolume int64
 	var totalRate float64
 	cells := 0
 	for _, d := range depthList {
@@ -91,12 +92,20 @@ func main() {
 				table.AddRow(res.Row()...)
 				totalDevices += res.Devices
 				totalEvents += res.Events
+				totalVolume += res.Net.Volume
+				if res.Net.PeakQueue > maxPeakQueue {
+					maxPeakQueue = res.Net.PeakQueue
+				}
 				totalRate += res.DevicesPerSec
 				cells++
 			}
 		}
 	}
 	fmt.Print(table.Render())
+	// Deterministic run totals stay on stdout so they land in the artifact;
+	// volume is in simnet's abstract payload units (the synthetic update dim).
+	fmt.Printf("\nevent engine: peak queue %d pending events (max over cells), %d total payload volume\n",
+		maxPeakQueue, totalVolume)
 	// The throughput summary goes to stderr: it is wall-clock dependent and
 	// must not land in the diffable artifact.
 	fmt.Fprintf(os.Stderr, "\n%d cells, %d simulated devices, %d events, mean %.0f devices/sec\n",

@@ -34,6 +34,7 @@ func main() {
 		proto     = flag.String("protocol", "voting", "top-level CBA protocol ('' = BRA top)")
 		scheme    = flag.Int("scheme", 0, "Table III scheme override (1-4, 0 = explicit rules)")
 		quorum    = flag.Float64("quorum", 1, "collection quorum φ")
+		codecName = flag.String("codec", "", "update codec: identity | int8 | topk | delta | delta-<inner> ('' = uncompressed)")
 		cohort    = flag.Int("cohort", 0, "devices sampled to train per bottom cluster per round (0 = everyone)")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
 		engine    = flag.String("engine", "rounds", "engine: rounds | pipeline | realtime")
@@ -64,6 +65,7 @@ func main() {
 		TopProtocol:       *proto,
 		Scheme:            *scheme,
 		Quorum:            *quorum,
+		Codec:             *codecName,
 		Cohort:            *cohort,
 		Seed:              *seed,
 		EvalEvery:         5,
@@ -115,6 +117,9 @@ func runRounds(mat *abdhfl.Materials, s abdhfl.Scenario, baseline bool) {
 	fmt.Printf("\nfinal accuracy: %s\n", metrics.Pct(res.FinalAccuracy))
 	fmt.Printf("communication: %d model transfers, %d scalar messages\n",
 		res.Comm.ModelTransfers, res.Comm.ScalarMessages)
+	if res.Comm.WireBytes > 0 {
+		fmt.Printf("wire traffic: %d encoded bytes (codec %s)\n", res.Comm.WireBytes, s.Codec)
+	}
 	if res.ExcludedByConsensus > 0 {
 		fmt.Printf("top-level consensus excluded %d partial models\n", res.ExcludedByConsensus)
 	}
@@ -141,6 +146,10 @@ func runPipeline(mat *abdhfl.Materials, flagLevel int) {
 	fmt.Printf("network         %d msgs / %d volume / %d dropped / %d dup / %d unregistered\n",
 		res.Network.Messages, res.Network.Volume,
 		res.Network.Dropped, res.Network.Duplicated, res.Network.DroppedUnregistered)
+	fmt.Printf("peak queue      %d pending events\n", res.Network.PeakQueue)
+	if res.WireBytes > 0 {
+		fmt.Printf("wire traffic    %d encoded bytes (codec %s)\n", res.WireBytes, mat.Scenario.Codec)
+	}
 }
 
 func runRealtime(mat *abdhfl.Materials, flagLevel int) {
@@ -161,6 +170,7 @@ func runRealtime(mat *abdhfl.Materials, flagLevel int) {
 		TestData:         mat.TestData,
 		ValidationShards: mat.ValidationShards,
 		Seed:             mat.Scenario.Seed,
+		Codec:            mat.Codec,
 		Telemetry:        mat.Telemetry,
 	})
 	if err != nil {
@@ -171,6 +181,9 @@ func runRealtime(mat *abdhfl.Materials, flagLevel int) {
 	fmt.Printf("wall time       %v\n", res.WallTime)
 	fmt.Printf("goroutines      %d\n", res.Goroutines)
 	fmt.Printf("merges          %d\n", res.Merges)
+	if res.WireBytes > 0 {
+		fmt.Printf("wire traffic    %d encoded bytes (codec %s)\n", res.WireBytes, mat.Scenario.Codec)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,61 @@
+package codec
+
+import (
+	"testing"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// The Scratch contract, mirroring internal/aggregate/alloc_test.go: with a
+// warm Scratch every codec's steady-state EncodeInto, DecodeInto, and
+// Transcode perform zero allocations. This is the property that lets the
+// engines transcode every hop of every round without touching the allocator.
+
+func TestCodecAllocationFree(t *testing.T) {
+	const dim = 4096
+	r := rng.New(1)
+	v := randomVector(r, dim)
+	ref := randomVector(r, dim)
+	for _, c := range testCodecs(t) {
+		t.Run(c.Name(), func(t *testing.T) {
+			s := &Scratch{Ref: ref}
+			buf := make([]byte, c.WireBytes(dim))
+			dst := tensor.NewVector(dim)
+			work := v.Clone()
+
+			if _, err := c.EncodeInto(buf, v, s); err != nil { // warm up
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				if _, err := c.EncodeInto(buf, v, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("EncodeInto allocates %.1f objects/op with a warm Scratch, want 0", allocs)
+			}
+
+			allocs = testing.AllocsPerRun(20, func() {
+				if err := c.DecodeInto(dst, buf, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("DecodeInto allocates %.1f objects/op with a warm Scratch, want 0", allocs)
+			}
+
+			if _, err := Transcode(c, work, s); err != nil { // warm the wire buffer
+				t.Fatal(err)
+			}
+			allocs = testing.AllocsPerRun(20, func() {
+				if _, err := Transcode(c, work, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs > 0 {
+				t.Fatalf("Transcode allocates %.1f objects/op with a warm Scratch, want 0", allocs)
+			}
+		})
+	}
+}

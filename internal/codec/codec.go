@@ -1,0 +1,136 @@
+// Package codec implements pluggable, allocation-free model-update codecs
+// for the device→leader→root path. Every transfer in the hierarchy can pass
+// its vector through an encode→decode hop, so the engines simulate both the
+// wire size (bandwidth-aware simnet delays, CommStats.WireBytes) and the
+// information loss (quantization shifts coordinate medians, sparsification
+// breaks Krum's distance geometry) of compressed federated updates.
+//
+// Codecs follow the aggregate.Scratch discipline: the caller owns a Scratch
+// of grow-on-demand buffers, one per goroutine, and steady-state
+// EncodeInto/DecodeInto allocate nothing. The wire format of each codec is
+// documented on its type and summarized in DESIGN.md §11.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"abdhfl/internal/tensor"
+)
+
+// Wire-format kind tags: the first byte of every encoding. Decoders reject
+// payloads whose tag does not match (ErrCorrupt), which is what lets the
+// fuzz harness feed arbitrary bytes without a codec misreading a sibling's
+// format as its own.
+const (
+	tagIdentity = 0x01
+	tagInt8     = 0x02
+	tagTopK     = 0x03
+	tagDelta    = 0x04
+)
+
+var (
+	// ErrNonFinite is returned when an encoder is handed a NaN/Inf vector, or
+	// when a decoder would reconstruct one. The postcondition mirrors
+	// aggregate.ErrNonFinite: a nil-error decode implies tensor.AllFinite on
+	// the output, so corrupt or adversarial bytes can never leak non-finite
+	// coordinates into the aggregation path.
+	ErrNonFinite = errors.New("codec: non-finite value")
+	// ErrCorrupt is returned when an encoded payload is malformed: wrong tag,
+	// truncated header, out-of-range index, or a length that disagrees with
+	// the header.
+	ErrCorrupt = errors.New("codec: corrupt payload")
+	// ErrShortBuffer is returned by EncodeInto when dst is smaller than
+	// WireBytes(len(v)).
+	ErrShortBuffer = errors.New("codec: destination buffer too small")
+	// ErrDimMismatch is returned by DecodeInto when the payload's dimension
+	// header disagrees with len(dst).
+	ErrDimMismatch = errors.New("codec: dimension mismatch")
+)
+
+// Codec encodes a model-update vector into bytes and back. Implementations
+// are stateless values — all working memory lives in the caller's Scratch —
+// and deterministic: the same vector always encodes to the same bytes.
+type Codec interface {
+	// Name is the registry name used in tables and flags.
+	Name() string
+	// WireBytes is the exact encoded size in bytes of a dim-coordinate
+	// vector. Every codec in this package is fixed-size for a given dim, so
+	// engines can account wire volume without encoding.
+	WireBytes(dim int) int
+	// EncodeInto writes the encoding of v into dst and returns the number of
+	// bytes written (== WireBytes(len(v))). dst must have at least that
+	// capacity; v must be finite.
+	EncodeInto(dst []byte, v tensor.Vector, s *Scratch) (int, error)
+	// DecodeInto reconstructs a vector from src into dst, whose length must
+	// equal the encoded dimension. On success the output is finite.
+	DecodeInto(dst tensor.Vector, src []byte, s *Scratch) error
+}
+
+// ByName returns the codec registered under name, mirroring
+// aggregate.ByName. Recognized names: identity, int8, topk, delta — plus
+// "delta-<inner>" compositions ("delta-topk", "delta-int8", …) that
+// delta-code against the reference before applying the inner codec, the
+// form in which sparsification is actually deployed (top-k of a residual,
+// not of raw weights).
+func ByName(name string) (Codec, error) {
+	switch name {
+	case "identity":
+		return Identity{}, nil
+	case "int8":
+		return Int8Quant{}, nil
+	case "topk":
+		return TopK{Fraction: DefaultTopKFraction}, nil
+	case "delta":
+		return Delta{}, nil
+	}
+	if inner, ok := strings.CutPrefix(name, "delta-"); ok && !strings.HasPrefix(inner, "delta") {
+		c, err := ByName(inner)
+		if err != nil {
+			return nil, fmt.Errorf("unknown codec %q: %w", name, err)
+		}
+		return Delta{Inner: c}, nil
+	}
+	return nil, fmt.Errorf("unknown codec %q (have %v)", name, Names())
+}
+
+// Names lists the registered codec names in table order.
+func Names() []string { return []string{"identity", "int8", "topk", "delta"} }
+
+// Transcode passes v through one encode→decode hop in place — the lossy
+// channel every transfer in the hierarchy applies — and returns the wire
+// size in bytes. The scratch owns the intermediate byte buffer, so the
+// steady state allocates nothing.
+func Transcode(c Codec, v tensor.Vector, s *Scratch) (int, error) {
+	s = s.resolve()
+	buf := s.Buffer(c.WireBytes(len(v)))
+	n, err := c.EncodeInto(buf, v, s)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.DecodeInto(v, buf[:n], s); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// header reads the common tag+dim prefix shared by every codec's wire
+// format, validating the tag and the declared dimension against dst.
+func header(src []byte, tag byte, dst tensor.Vector) ([]byte, error) {
+	if len(src) < 5 || src[0] != tag {
+		return nil, ErrCorrupt
+	}
+	if dim := binary.LittleEndian.Uint32(src[1:5]); int(dim) != len(dst) {
+		return nil, ErrDimMismatch
+	}
+	return src[5:], nil
+}
+
+// putHeader writes the tag+dim prefix and returns the remaining buffer.
+func putHeader(dst []byte, tag byte, dim int) []byte {
+	dst[0] = tag
+	binary.LittleEndian.PutUint32(dst[1:5], uint32(dim))
+	return dst[5:]
+}

@@ -1,0 +1,93 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"abdhfl/internal/tensor"
+)
+
+// TestGenerateCorpus regenerates the committed seed corpus under
+// testdata/fuzz/ when CODEC_GEN_CORPUS=1 is set — run it after changing a
+// wire format so the checked-in seeds keep exercising the deep decode paths.
+// Without the env var it only verifies that every committed seed parses and
+// upholds the decode contract (error or finite, never panic).
+func TestGenerateCorpus(t *testing.T) {
+	type seed struct {
+		name string
+		raw  []byte
+		dim  uint16
+	}
+	enc := func(c Codec, v tensor.Vector) []byte {
+		buf := make([]byte, c.WireBytes(len(v)))
+		n, err := c.EncodeInto(buf, v, &Scratch{Ref: tensor.Vector{1, 2, 1, 2, 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf[:n]
+	}
+	le := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	v5 := tensor.Vector{1, -2, 3, -4, 0.5}
+	decodeSeeds := []seed{
+		{"valid-identity", enc(Identity{}, v5), 5},
+		{"valid-int8", enc(Int8Quant{}, v5), 5},
+		{"valid-int8-chunk7", enc(Int8Quant{Chunk: 7}, tensor.NewVector(20)), 20},
+		{"valid-topk", enc(TopK{Fraction: 0.5}, v5), 5},
+		{"valid-delta", enc(Delta{}, v5), 5},
+		{"valid-empty-vec", enc(Identity{}, tensor.Vector{}), 0},
+		{"edge-nan-bits", le(math.NaN(), math.Inf(1), -1), 3},
+		{"edge-overflow", enc(Int8Quant{}, tensor.Vector{1e308, -1e308, 0, 42}), 4},
+		{"edge-empty", nil, 3},
+		{"edge-dim-overflow", []byte{tagInt8, 0xFF, 0xFF, 0xFF, 0xFF}, 4},
+		{"edge-topk-bad-index", []byte{tagTopK, 4, 0, 0, 0, 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0, 0, 0, 0xF0, 0x3F}, 4},
+		{"edge-nested-delta", []byte{tagDelta, tagDelta, 0}, 1},
+	}
+	roundTripSeeds := []seed{
+		{"seed-smooth", le(0.5, -0.5, 1e-300, -1e-300, 0), 0},
+		{"seed-extreme", le(1e308, -1e308, 0, 42), 0},
+		{"seed-nonfinite", le(math.NaN(), math.Inf(1), 1), 0},
+		{"seed-empty", nil, 0},
+	}
+
+	if os.Getenv("CODEC_GEN_CORPUS") != "" {
+		write := func(dir string, s seed, withDim bool) {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.raw)
+			if withDim {
+				body += fmt.Sprintf("uint16(%d)\n", s.dim)
+			}
+			if err := os.WriteFile(filepath.Join(dir, s.name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range decodeSeeds {
+			write("testdata/fuzz/FuzzCodecDecode", s, true)
+		}
+		for _, s := range roundTripSeeds {
+			write("testdata/fuzz/FuzzCodecRoundTrip", s, false)
+		}
+		return
+	}
+
+	// Verification mode: every seed must uphold the decode contract.
+	for _, s := range decodeSeeds {
+		dst := tensor.NewVector(int(s.dim))
+		for _, c := range fuzzCodecs() {
+			if err := c.DecodeInto(dst, s.raw, &Scratch{}); err == nil && !tensor.AllFinite(dst) {
+				t.Fatalf("seed %s: %s decoded non-finite output", s.name, c.Name())
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package codec
+
+import (
+	"abdhfl/internal/tensor"
+)
+
+// Delta encodes the difference between the vector and a reference model both
+// ends of the link already share — the current flag/global model, supplied
+// via Scratch.Ref — then hands the (small, centered) residual to an inner
+// codec. Residuals concentrate near zero, so quantizing the delta loses far
+// less than quantizing raw parameters. A nil or dimension-mismatched Ref
+// falls back to a zero reference, i.e. the inner codec on the raw vector.
+//
+// Wire format: [1] tag 0x04, then the inner codec's encoding of v-Ref. Note
+// the reference itself is never shipped — decode adds Scratch.Ref back, so
+// both sides must agree on it (the engines use the model the receiver is
+// already holding).
+type Delta struct {
+	// Inner compresses the residual; nil selects Int8Quant{} — the pairing
+	// the codec matrix studies, since a lossless inner codec would make
+	// Delta pure overhead.
+	Inner Codec
+}
+
+// Name implements Codec.
+func (c Delta) Name() string { return "delta-" + c.inner().Name() }
+
+func (c Delta) inner() Codec {
+	if c.Inner != nil {
+		return c.Inner
+	}
+	return Int8Quant{}
+}
+
+// WireBytes implements Codec.
+func (c Delta) WireBytes(dim int) int { return 1 + c.inner().WireBytes(dim) }
+
+// ref returns the scratch reference if it matches dim, else nil (zero ref).
+func ref(s *Scratch, dim int) tensor.Vector {
+	if len(s.Ref) == dim {
+		return s.Ref
+	}
+	return nil
+}
+
+// EncodeInto implements Codec.
+func (c Delta) EncodeInto(dst []byte, v tensor.Vector, s *Scratch) (int, error) {
+	if len(dst) < c.WireBytes(len(v)) {
+		return 0, ErrShortBuffer
+	}
+	if _, nested := c.inner().(Delta); nested {
+		return 0, ErrCorrupt // nested Delta would fight over Scratch.diff and Ref
+	}
+	s = s.resolve()
+	body := v
+	if r := ref(s, len(v)); r != nil {
+		body = tensor.Sub(s.vector(len(v)), v, r)
+	}
+	dst[0] = tagDelta
+	n, err := c.inner().EncodeInto(dst[1:], body, s)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + n, nil
+}
+
+// DecodeInto implements Codec.
+func (c Delta) DecodeInto(dst tensor.Vector, src []byte, s *Scratch) error {
+	if len(src) < 1 || src[0] != tagDelta {
+		return ErrCorrupt
+	}
+	if _, nested := c.inner().(Delta); nested {
+		return ErrCorrupt
+	}
+	s = s.resolve()
+	if err := c.inner().DecodeInto(dst, src[1:], s); err != nil {
+		return err
+	}
+	if r := ref(s, len(dst)); r != nil {
+		tensor.Add(dst, dst, r)
+		// A finite residual plus a large-magnitude reference can still
+		// overflow, so re-check the postcondition after adding Ref back.
+		if !tensor.AllFinite(dst) {
+			return ErrNonFinite
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"abdhfl/internal/tensor"
+)
+
+// The fuzz contract, mirroring internal/aggregate/fuzz_test.go: a decoder
+// fed arbitrary bytes must either error or produce an entirely finite
+// vector — never panic, never leak NaN/Inf into the aggregation path — and a
+// finite vector must always round-trip through its own codec.
+
+// fuzzCodecs returns the decoders under test, including parameter variants
+// whose headers disagree with the defaults (chunk 7, fraction 0.5).
+func fuzzCodecs() []Codec {
+	return []Codec{
+		Identity{},
+		Int8Quant{},
+		Int8Quant{Chunk: 7},
+		TopK{Fraction: 0.1},
+		TopK{Fraction: 0.5},
+		Delta{},
+		Delta{Inner: Identity{}},
+		Delta{Inner: TopK{Fraction: 0.25}},
+	}
+}
+
+func FuzzCodecDecode(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	nan := math.NaN()
+	inf := math.Inf(1)
+
+	// Seed with valid encodings of interesting vectors (so the fuzzer starts
+	// from deep in each format and mutates outward), plus raw adversarial
+	// bytes: NaN/Inf float patterns, huge magnitudes that can overflow the
+	// int8 range arithmetic, empty and truncated payloads, and headers
+	// declaring absurd dimensions.
+	for _, c := range fuzzCodecs() {
+		for _, v := range []tensor.Vector{
+			{1, 2, 3, 4, 5},
+			{0, 0, 0, 0},
+			{1e308, -1e308, 1e-308, 0},
+			{},
+		} {
+			buf := make([]byte, c.WireBytes(len(v)))
+			if n, err := c.EncodeInto(buf, v, &Scratch{Ref: tensor.Vector{1, 1, 1, 1, 1}}); err == nil {
+				f.Add(buf[:n], uint16(len(v)))
+			}
+		}
+	}
+	f.Add(le(nan, inf, -1), uint16(3))
+	f.Add(le(1e308, 1e308, -1e308), uint16(3))
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte{tagInt8, 255, 255, 255, 255}, uint16(4)) // dim header overflow
+	f.Add([]byte{tagTopK, 4, 0, 0, 0, 255, 255, 255, 255}, uint16(4))
+	f.Add([]byte{tagDelta, tagDelta}, uint16(1)) // nested-delta tag
+
+	f.Fuzz(func(t *testing.T, raw []byte, dim uint16) {
+		dst := tensor.NewVector(int(dim) % 2048)
+		ref := tensor.NewVector(len(dst))
+		for i := range ref {
+			ref[i] = float64(i%7) - 3
+		}
+		s := &Scratch{Ref: ref}
+		for _, c := range fuzzCodecs() {
+			if err := c.DecodeInto(dst, raw, s); err != nil {
+				continue // malformed input must error, and did
+			}
+			if !tensor.AllFinite(dst) {
+				t.Fatalf("%s decoded non-finite output from %d bytes into dim %d",
+					c.Name(), len(raw), len(dst))
+			}
+			// A successful decode's output must re-encode: the decoded vector
+			// is finite, so its own codec has to accept it.
+			buf := make([]byte, c.WireBytes(len(dst)))
+			if _, err := c.EncodeInto(buf, dst, s); err != nil && err != ErrNonFinite {
+				t.Fatalf("%s: decode succeeded but re-encode failed: %v", c.Name(), err)
+			}
+		}
+	})
+}
+
+// FuzzCodecRoundTrip drives the encode side: any finite vector must encode
+// and decode back within the codec's contract, for every codec, at every
+// dimension the fuzzer invents.
+func FuzzCodecRoundTrip(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(le(1, 2, 3, 4))
+	f.Add(le(0.5, -0.5, 1e-300, -1e-300, 0))
+	f.Add(le(1e308, -1e308, 0, 42))
+	f.Add(le(math.NaN(), math.Inf(1), 1))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		dim := len(raw) / 8
+		v := tensor.NewVector(dim)
+		for i := range v {
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		finite := tensor.AllFinite(v)
+		s := &Scratch{}
+		for _, c := range fuzzCodecs() {
+			work := v.Clone()
+			_, err := Transcode(c, work, s)
+			if !finite {
+				if err == nil {
+					t.Fatalf("%s accepted non-finite input", c.Name())
+				}
+				continue
+			}
+			if err != nil {
+				// Finite input may still overflow an extreme-range residual
+				// or chunk (e.g. ±1e308 in one chunk); that must surface as
+				// ErrNonFinite, never silently.
+				if err != ErrNonFinite {
+					t.Fatalf("%s rejected finite input with %v", c.Name(), err)
+				}
+				continue
+			}
+			if !tensor.AllFinite(work) {
+				t.Fatalf("%s round trip produced non-finite output", c.Name())
+			}
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"abdhfl/internal/tensor"
+)
+
+// DefaultTopKFraction keeps the 10% largest-magnitude coordinates — the
+// standard sparsification operating point in the FL compression literature.
+const DefaultTopKFraction = 0.1
+
+// TopK is magnitude top-k sparsification: only the k = ceil(Fraction·dim)
+// largest-|x| coordinates survive, packed as (index, value) pairs; everything
+// else decodes to zero. Selection reuses tensor.SelectKth (the aggregation
+// kernels' quickselect) on a scratch copy of |v|, and ties at the threshold
+// are broken in ascending index order, so the encoding is deterministic.
+// Indices are emitted strictly increasing, which the decoder enforces as a
+// corruption check.
+//
+// Wire format (little-endian):
+//
+//	[1]   tag 0x03
+//	[4]   uint32 dim
+//	[4]   uint32 k
+//	[4k]  uint32 indices (strictly increasing)
+//	[8k]  float64 values
+type TopK struct {
+	// Fraction of coordinates to keep, in (0, 1]; 0 selects
+	// DefaultTopKFraction. At least one coordinate is always kept.
+	Fraction float64
+}
+
+// Name implements Codec.
+func (TopK) Name() string { return "topk" }
+
+func (c TopK) fraction() float64 {
+	if c.Fraction > 0 {
+		return c.Fraction
+	}
+	return DefaultTopKFraction
+}
+
+// K is the number of coordinates kept for a dim-coordinate vector.
+func (c TopK) K(dim int) int {
+	k := int(math.Ceil(c.fraction() * float64(dim)))
+	if k < 1 {
+		k = 1
+	}
+	if k > dim {
+		k = dim
+	}
+	return k
+}
+
+// WireBytes implements Codec.
+func (c TopK) WireBytes(dim int) int { return 9 + 12*c.K(dim) }
+
+// EncodeInto implements Codec.
+func (c TopK) EncodeInto(dst []byte, v tensor.Vector, s *Scratch) (int, error) {
+	n := c.WireBytes(len(v))
+	if len(dst) < n {
+		return 0, ErrShortBuffer
+	}
+	if !tensor.AllFinite(v) {
+		return 0, ErrNonFinite
+	}
+	s = s.resolve()
+	k := c.K(len(v))
+	b := putHeader(dst, tagTopK, len(v))
+	binary.LittleEndian.PutUint32(b, uint32(k))
+	idxs := b[4:]
+	vals := b[4+4*k:]
+	if k == 0 { // dim == 0
+		return n, nil
+	}
+	abs := s.floats(len(v))
+	for i, x := range v {
+		abs[i] = math.Abs(x)
+	}
+	// The k-th largest magnitude: everything strictly above it is kept, and
+	// ties at the threshold fill the remaining slots in index order.
+	thr := tensor.SelectKth(abs, len(v)-k)
+	above := 0
+	for _, x := range v {
+		if math.Abs(x) > thr {
+			above++
+		}
+	}
+	ties := k - above
+	w := 0
+	for i, x := range v {
+		a := math.Abs(x)
+		if a > thr {
+			// kept: strictly above threshold
+		} else if a == thr && ties > 0 {
+			ties--
+		} else {
+			continue
+		}
+		binary.LittleEndian.PutUint32(idxs[4*w:], uint32(i))
+		binary.LittleEndian.PutUint64(vals[8*w:], math.Float64bits(x))
+		w++
+	}
+	return n, nil
+}
+
+// DecodeInto implements Codec.
+func (c TopK) DecodeInto(dst tensor.Vector, src []byte, s *Scratch) error {
+	b, err := header(src, tagTopK, dst)
+	if err != nil {
+		return err
+	}
+	if len(b) < 4 {
+		return ErrCorrupt
+	}
+	k := int(binary.LittleEndian.Uint32(b))
+	if k != c.K(len(dst)) || len(b) != 4+12*k {
+		return ErrCorrupt
+	}
+	idxs := b[4:]
+	vals := b[4+4*k:]
+	for i := range dst {
+		dst[i] = 0
+	}
+	prev := -1
+	for w := 0; w < k; w++ {
+		i := int(binary.LittleEndian.Uint32(idxs[4*w:]))
+		if i <= prev || i >= len(dst) {
+			return ErrCorrupt
+		}
+		prev = i
+		x := math.Float64frombits(binary.LittleEndian.Uint64(vals[8*w:]))
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return ErrNonFinite
+		}
+		dst[i] = x
+	}
+	return nil
+}

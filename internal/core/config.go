@@ -13,6 +13,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
@@ -129,6 +130,15 @@ type Config struct {
 	// Clusters whose members are all offline contribute no partial model;
 	// the level above simply aggregates fewer inputs.
 	Churn ChurnModel
+	// Codec, when non-nil, passes every model transfer on the
+	// device→leader→root path (uploads, per-level partials, dissemination)
+	// through an encode→decode hop, so the run reflects both the wire size
+	// (CommStats.WireBytes) and the information loss of compressed updates.
+	// The Delta codec uses the round's start global model as its reference.
+	// Nil — and the bit-exact Identity codec — reproduce the uncompressed
+	// run's results exactly; lossy codecs perturb only the vectors, never the
+	// rng streams.
+	Codec codec.Codec
 	// Cohort is the number of trainers deterministically sampled from each
 	// bottom cluster per round (cross-device FL's client sampling). Devices
 	// outside the round's cohort contribute no update — attack placement and
@@ -234,12 +244,17 @@ type CommStats struct {
 	ModelTransfers int
 	// ScalarMessages counts light messages (votes, scores).
 	ScalarMessages int
+	// WireBytes is the total encoded size of all model transfers when a
+	// Codec is configured (ModelTransfers × the codec's wire size); zero
+	// when transfers are counted in abstract units.
+	WireBytes int64
 }
 
 // Add accumulates o into s.
 func (s *CommStats) Add(o CommStats) {
 	s.ModelTransfers += o.ModelTransfers
 	s.ScalarMessages += o.ScalarMessages
+	s.WireBytes += o.WireBytes
 }
 
 // Result is the outcome of a run.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -52,6 +53,12 @@ type GossipConfig struct {
 	// their neighbours' aggregations — the flat-topology analogue of
 	// cross-device client sampling.
 	Cohort int
+	// Codec mirrors Config.Codec. Each device's round model crosses one
+	// encode→decode hop before the exchange — every peer then pulls the same
+	// decoded copy, modeling a device that encodes once and serves all its
+	// gossip partners identical bytes. Gossip has no shared global model, so
+	// the Delta codec runs with a zero reference here.
+	Codec codec.Codec
 }
 
 // Validate reports configuration errors.
@@ -133,7 +140,9 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	// per-device model storage (round r writes bufs[r%2] while bufs[(r-1)%2]
 	// still holds the params the trainer just read).
 	aggScratch := aggregate.NewScratch(workers)
+	codecScratch := codec.NewScratch()
 	ins := newInstruments(cfg.Telemetry, "gossip", 1)
+	ins.codecInfo(cfg.Codec, len(initParams))
 	fe := newFilterEmitter(ins, cfg.OnFilter, "gossip")
 	fe.attach(aggScratch)
 	group := make([]tensor.Vector, 0, fanout+1)
@@ -153,6 +162,15 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 		skip := drawGossipSkip(cfg, roundRNG, devices)
 		trainLocalFrom(trainer, hcfg, params, trained, skip, roundRNG)
 		res.TrainerActivations += devices - len(skip)
+		// Codec hop: each device encodes its round model once; every peer
+		// that pulls it receives the same decoded copy.
+		if cfg.Codec != nil {
+			for id, u := range trained {
+				if _, err := codec.Transcode(cfg.Codec, u, codecScratch); err != nil {
+					return nil, fmt.Errorf("core: gossip round %d device %d codec: %w", round, id, err)
+				}
+			}
+		}
 		if ins.enabled() {
 			ins.observePhase(phaseTrain, time.Since(tPhase))
 			tPhase = time.Now()
@@ -183,6 +201,10 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			res.Comm.ModelTransfers += len(group) - 1
 		}
 		params = next
+		if cfg.Codec != nil {
+			moved := res.Comm.ModelTransfers - commBefore.ModelTransfers
+			res.Comm.WireBytes += int64(moved) * int64(cfg.Codec.WireBytes(dim))
+		}
 		if ins.enabled() {
 			ins.observePhase(phaseAggregate, time.Since(tPhase))
 			tPhase = time.Now()
@@ -207,6 +229,7 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			delta := res.Comm
 			delta.ModelTransfers -= commBefore.ModelTransfers
 			delta.ScalarMessages -= commBefore.ScalarMessages
+			delta.WireBytes -= commBefore.WireBytes
 			ins.roundDone(time.Since(tRound), delta)
 		}
 	}

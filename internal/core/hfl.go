@@ -9,6 +9,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -56,7 +57,11 @@ func RunHFL(cfg Config) (*Result, error) {
 	// double-buffered global destination. Leader rotation preserves the tree
 	// shape, so the cluster counts are stable.
 	aggScratch := aggregate.NewScratch(workers)
+	// Codec working memory beside the aggregation scratch: the round loop is
+	// sequential, so one Scratch serves every hop of every round.
+	codecScratch := codec.NewScratch()
 	ins := newInstruments(cfg.Telemetry, "hfl", len(tree.Clusters))
+	ins.codecInfo(cfg.Codec, len(globalParams))
 	fe := newFilterEmitter(ins, cfg.OnFilter, "hfl")
 	fe.attach(aggScratch)
 	dim := len(globalParams)
@@ -101,6 +106,21 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Model-update attacks by Byzantine devices (omniscient model).
 		if cfg.ModelAttack != nil {
 			applyModelAttack(cfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+
+		// --- Device→leader uplink: each submitted update crosses one codec
+		// hop. The Delta reference is the round's start model, which every
+		// device and leader already holds from dissemination.
+		if cfg.Codec != nil {
+			codecScratch.Ref = globalParams
+			for id, u := range updates {
+				if u == nil {
+					continue
+				}
+				if _, err := codec.Transcode(cfg.Codec, u, codecScratch); err != nil {
+					return nil, fmt.Errorf("core: round %d device %d codec: %w", round, id, err)
+				}
+			}
 		}
 
 		if ins.enabled() {
@@ -156,6 +176,13 @@ func RunHFL(cfg Config) (*Result, error) {
 					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
 				}
 				res.Comm.Add(comm)
+				// Leader→parent uplink: the freshly formed partial crosses the
+				// next codec hop before the level above consumes it.
+				if cfg.Codec != nil {
+					if _, err := codec.Transcode(cfg.Codec, agg, codecScratch); err != nil {
+						return nil, fmt.Errorf("core: round %d level %d cluster %d codec: %w", round, lvl, ci, err)
+					}
+				}
 				next[ci] = agg
 			}
 			partials = next
@@ -173,6 +200,17 @@ func RunHFL(cfg Config) (*Result, error) {
 		}
 		res.Comm.Add(comm)
 		res.ExcludedByConsensus += excluded
+		// Dissemination downlink: the new global crosses one codec hop (all
+		// broadcast copies carry the same encoding), deltas referenced
+		// against the previous global every receiver still holds. The
+		// double-buffered globals keep the reference intact while the new
+		// model decodes in place.
+		if cfg.Codec != nil {
+			codecScratch.Ref = globalParams
+			if _, err := codec.Transcode(cfg.Codec, newGlobal, codecScratch); err != nil {
+				return nil, fmt.Errorf("core: round %d dissemination codec: %w", round, err)
+			}
+		}
 		globalParams = newGlobal
 
 		// --- Dissemination (Algorithm 5): the global model travels down the
@@ -199,10 +237,17 @@ func RunHFL(cfg Config) (*Result, error) {
 				ins.observePhase(phaseEval, time.Since(tPhase))
 			}
 		}
+		// Wire-byte accounting: every model transfer this round shipped one
+		// codec-encoded vector of the same dimension.
+		if cfg.Codec != nil {
+			moved := res.Comm.ModelTransfers - commBefore.ModelTransfers
+			res.Comm.WireBytes += int64(moved) * int64(cfg.Codec.WireBytes(dim))
+		}
 		if ins.enabled() {
 			delta := res.Comm
 			delta.ModelTransfers -= commBefore.ModelTransfers
 			delta.ScalarMessages -= commBefore.ScalarMessages
+			delta.WireBytes -= commBefore.WireBytes
 			ins.roundDone(time.Since(tRound), delta)
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/telemetry"
 )
@@ -33,6 +34,8 @@ type instruments struct {
 	scalars   *telemetry.Counter
 	excluded  *telemetry.Counter
 	votes     *telemetry.Histogram
+	wireBytes *telemetry.Counter
+	ratio     *telemetry.Gauge
 	// kept/clipped/trimmed are indexed by tree level (0 = top).
 	kept    []*telemetry.Counter
 	clipped []*telemetry.Counter
@@ -57,6 +60,8 @@ func newInstruments(reg *telemetry.Registry, engine string, levels int) *instrum
 		scalars:   reg.Counter(label("abdhfl_comm_scalar_messages_total")),
 		excluded:  reg.Counter(label("abdhfl_consensus_excluded_total")),
 		votes:     reg.Histogram(label("abdhfl_consensus_votes"), telemetry.LinearBuckets(0, 1, 17)),
+		wireBytes: reg.Counter(label("abdhfl_codec_wire_bytes_total")),
+		ratio:     reg.Gauge(label("abdhfl_codec_compression_ratio")),
 	}
 	for p := 0; p < numPhases; p++ {
 		ins.phases[p] = reg.Histogram(
@@ -89,6 +94,17 @@ func (ins *instruments) roundDone(d time.Duration, delta CommStats) {
 	ins.roundDur.Observe(d.Seconds())
 	ins.transfers.Add(int64(delta.ModelTransfers))
 	ins.scalars.Add(int64(delta.ScalarMessages))
+	ins.wireBytes.Add(delta.WireBytes)
+}
+
+// codecInfo publishes the configured codec's compression ratio (raw float64
+// bytes over wire bytes at the run's model dimension); a nil codec leaves
+// the gauge at zero.
+func (ins *instruments) codecInfo(c codec.Codec, dim int) {
+	if ins == nil || c == nil || dim == 0 {
+		return
+	}
+	ins.ratio.Set(float64(8*dim) / float64(c.WireBytes(dim)))
 }
 
 func (ins *instruments) evalDone(acc, loss float64) {

@@ -8,6 +8,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -44,6 +45,10 @@ type VanillaConfig struct {
 	// count) trains everyone. The server aggregates only the cohort's
 	// updates, and the filter audit reports the sampled client ids.
 	Cohort int
+	// Codec mirrors Config.Codec: every client upload and the server's
+	// broadcast cross one encode→decode hop, with the round's start model as
+	// the Delta reference.
+	Codec codec.Codec
 }
 
 // Validate reports configuration errors.
@@ -101,7 +106,9 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 	// internal buffers warm, and the double-buffered destination lets round r
 	// write while round r-1's result is still the read-only training start.
 	aggScratch := aggregate.NewScratch(workers)
+	codecScratch := codec.NewScratch()
 	ins := newInstruments(cfg.Telemetry, "vanilla", 1)
+	ins.codecInfo(cfg.Codec, len(globalParams))
 	fe := newFilterEmitter(ins, cfg.OnFilter, "vanilla")
 	fe.attach(aggScratch)
 	var globalBufs [2]tensor.Vector
@@ -116,6 +123,18 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		res.TrainerActivations += len(trainer.active)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+		// Client→server uplink: each submitted update crosses one codec hop.
+		if cfg.Codec != nil {
+			codecScratch.Ref = globalParams
+			for id, u := range updates {
+				if u == nil {
+					continue
+				}
+				if _, err := codec.Transcode(cfg.Codec, u, codecScratch); err != nil {
+					return nil, fmt.Errorf("core: vanilla round %d client %d codec: %w", round, id, err)
+				}
+			}
 		}
 		if ins.enabled() {
 			ins.observePhase(phaseTrain, time.Since(tPhase))
@@ -146,9 +165,20 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		// Without cohort sampling there is no churn in the star baseline, so
 		// update positions are client ids and ids stays nil.
 		fe.emitAudit(0, 0, round, ids)
+		// Server→client downlink: the broadcast global crosses one codec hop
+		// (the previous global, still intact in the other buffer, is the
+		// Delta reference every client holds).
+		roundComm := CommStats{ModelTransfers: 2 * len(inputs)}
+		if cfg.Codec != nil {
+			codecScratch.Ref = globalParams
+			if _, err := codec.Transcode(cfg.Codec, agg, codecScratch); err != nil {
+				return nil, fmt.Errorf("core: vanilla round %d broadcast codec: %w", round, err)
+			}
+			roundComm.WireBytes = int64(roundComm.ModelTransfers) * int64(cfg.Codec.WireBytes(len(agg)))
+		}
 		globalParams = agg
 		// Star topology: every participant uploads, the server broadcasts back.
-		res.Comm.ModelTransfers += 2 * len(inputs)
+		res.Comm.Add(roundComm)
 		if ins.enabled() {
 			ins.observePhase(phaseAggregate, time.Since(tPhase))
 			tPhase = time.Now()
@@ -164,7 +194,7 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			}
 		}
 		if ins.enabled() {
-			ins.roundDone(time.Since(tRound), CommStats{ModelTransfers: 2 * len(inputs)})
+			ins.roundDone(time.Since(tRound), roundComm)
 		}
 	}
 	if len(res.Curve) > 0 {

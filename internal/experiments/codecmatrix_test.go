@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func codecSmokeOptions() CodecMatrixOptions {
+	return CodecMatrixOptions{
+		Levels:      3,
+		ClusterSize: 2,
+		TopNodes:    2,
+		Rounds:      3,
+		Samples:     40,
+		Seed:        3,
+		Codecs:      []string{"identity", "int8"},
+	}
+}
+
+func TestRunCodecMatrixSmoke(t *testing.T) {
+	res, err := RunCodecMatrix(codecSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 attacks x 2 schemes x 2 codecs.
+	if len(res) != 8 {
+		t.Fatalf("cells = %d, want 8", len(res))
+	}
+	for i, r := range res {
+		if r.CompletedRounds <= 0 {
+			t.Fatalf("cell %d completed no rounds: %+v", i, r)
+		}
+		if r.WireBytesPerRound <= 0 {
+			t.Fatalf("cell %d shipped no wire bytes: %+v", i, r)
+		}
+		if r.RoundLatency <= 0 {
+			t.Fatalf("cell %d has no round latency: %+v", i, r)
+		}
+		if r.Precision < 0 || r.Precision > 1 || r.Recall < 0 || r.Recall > 1 {
+			t.Fatalf("cell %d filter scores out of range: %+v", i, r)
+		}
+	}
+	// Same cell modulo codec: int8 must ship fewer bytes than identity.
+	for i := 0; i+1 < len(res); i += 2 {
+		ident, int8c := res[i], res[i+1]
+		if ident.Codec != "identity" || int8c.Codec != "int8" {
+			t.Fatalf("unexpected codec order at %d: %s, %s", i, ident.Codec, int8c.Codec)
+		}
+		if int8c.WireBytesPerRound >= ident.WireBytesPerRound {
+			t.Fatalf("int8 bytes/round %d not below identity %d",
+				int8c.WireBytesPerRound, ident.WireBytesPerRound)
+		}
+	}
+	table := CodecMatrixTable(res).Render()
+	if !strings.Contains(table, "wire KB/round") || !strings.Contains(table, "int8") {
+		t.Fatalf("table missing expected columns:\n%s", table)
+	}
+}
+
+// TestRunCodecMatrixDeterministic pins the reproducibility contract that
+// makes results_codec_matrix.txt byte-identical across reruns.
+func TestRunCodecMatrixDeterministic(t *testing.T) {
+	a, err := RunCodecMatrix(codecSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCodecMatrix(codecSmokeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cell %d differs across runs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

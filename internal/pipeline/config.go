@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/fault"
@@ -165,9 +166,22 @@ type Config struct {
 	Latency simnet.LatencyModel
 	// Bandwidth, if non-nil, models per-link capacity (volume units per
 	// virtual ms); model transfers then add size/bandwidth to their delay —
-	// the per-level bandwidth factor of Appendix E. Nil = infinite.
+	// the per-level bandwidth factor of Appendix E. Nil = infinite. (To charge
+	// a byte rate plus per-message overhead, wrap Latency in simnet.Bandwidth
+	// instead: with a Codec set, message volumes are wire bytes.)
 	Bandwidth func(from, to simnet.NodeID) float64
 	Alpha     AlphaPolicy
+
+	// Codec, when non-nil, passes every model transfer through one
+	// encode→decode hop at the sender that forms it (device upload, partial,
+	// and the global/flag dissemination; pure forwards re-ship the same bytes
+	// without a second hop) and charges wire bytes — instead of raw element
+	// counts — as the message volume the latency/bandwidth models see. The
+	// Delta codec's reference is the engine's last formed global model (the
+	// round's start parameters for device uploads). Nil and codec.Identity
+	// reproduce the uncompressed model stream bit-for-bit; only the volume
+	// units change under Identity.
+	Codec codec.Codec
 
 	Seed uint64
 	// EvalEvery rounds between accuracy evaluations; zero selects 1.
@@ -306,6 +320,10 @@ type Result struct {
 	Abandoned int
 	// Omitted counts uploads withheld by omission-Byzantine devices.
 	Omitted int
+	// WireBytes is the total encoded bytes shipped across all links (every
+	// SendVolume charge, forwards included) when a Codec is configured; zero
+	// without one.
+	WireBytes int64
 	// FinalParams is the last formed global model's parameter vector; nil
 	// when no round completed. Exposed for cross-engine equivalence checks.
 	FinalParams tensor.Vector

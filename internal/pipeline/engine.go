@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/fault"
 	"abdhfl/internal/nn"
@@ -90,6 +91,51 @@ type engine struct {
 	faulty  bool
 	backoff float64
 	retries int
+	// cs is the engine's codec scratch (single-threaded event loop, so one
+	// serves every actor); lastRef is the last formed — and decoded — global
+	// model, the Delta reference every non-device hop uses. codecErr latches
+	// the first transcode failure; the run is failed with it after the drain
+	// (actor callbacks have no error return path).
+	cs       *codec.Scratch
+	lastRef  tensor.Vector
+	codecErr error
+}
+
+// Hop indices of the per-hop wire-byte counters.
+const (
+	hopUplink = iota // device -> bottom cluster leader
+	hopPartial       // cluster leader -> parent / top
+	hopFlag          // flag-model dissemination downwards
+	hopGlobal        // global-model dissemination downwards
+	numHops
+)
+
+var hopNames = [numHops]string{"uplink", "partial", "flag", "global"}
+
+// transcodeHop passes a freshly formed model vector through the configured
+// codec (encode→decode in place) with ref as the Delta reference both
+// endpoints hold. Forwarded copies of the same vector re-ship the same bytes
+// and must NOT call this again — charge them with volume only.
+func (e *engine) transcodeHop(v, ref tensor.Vector) {
+	if e.cfg.Codec == nil {
+		return
+	}
+	e.cs.Ref = ref
+	if _, err := codec.Transcode(e.cfg.Codec, v, e.cs); err != nil && e.codecErr == nil {
+		e.codecErr = fmt.Errorf("pipeline: codec %s: %w", e.cfg.Codec.Name(), err)
+	}
+}
+
+// volume returns the link charge for one model transfer — wire bytes under a
+// codec, the raw element count without one — and accounts it per hop.
+func (e *engine) volume(hop, dim int) int64 {
+	if e.cfg.Codec == nil {
+		return int64(dim)
+	}
+	n := int64(e.cfg.Codec.WireBytes(dim))
+	e.result.WireBytes += n
+	e.ins.wireHop(hop, n)
+	return n
 }
 
 // subQuorum records one degraded aggregation (timeout closed a round below
@@ -220,7 +266,10 @@ func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.
 		e.result.Omitted++
 		e.ins.omitted()
 	} else {
-		ctx.SendVolume(e.deviceLeader[d.id], msgLocal{round: round, params: out, dev: d.id}, int64(len(out)))
+		// Uplink codec hop: the round's start parameters are the Delta
+		// reference (the leader disseminated them, so both ends hold them).
+		e.transcodeHop(out, startParams)
+		ctx.SendVolume(e.deviceLeader[d.id], msgLocal{round: round, params: out, dev: d.id}, e.volume(hopUplink, len(out)))
 	}
 	if d.stashedFlag != nil {
 		f := *d.stashedFlag
@@ -286,7 +335,7 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 			}
 		}
 		for _, ch := range a.children {
-			ctx.SendVolume(ch, m, int64(len(m.params)))
+			ctx.SendVolume(ch, m, e.volume(hopFlag, len(m.params)))
 		}
 		// A forwarded flag is proof that round m.round is starting below:
 		// under faults, arm the collect deadline now so the round cannot
@@ -303,7 +352,7 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 			}
 		}
 		for _, ch := range a.children {
-			ctx.SendVolume(ch, m, int64(len(m.params)))
+			ctx.SendVolume(ch, m, e.volume(hopGlobal, len(m.params)))
 		}
 	}
 }
@@ -416,11 +465,14 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 			return
 		}
 		e.fe.emitAudit(a.cluster.Level, a.cluster.Index, round, ids)
-		ctx.SendVolume(a.parent, msgPartial{round: round, params: agg, child: a.cluster.Index}, int64(len(agg)))
+		// One codec hop per formed partial: the upward send and the flag
+		// release below ship the same encoded bytes.
+		e.transcodeHop(agg, e.lastRef)
+		ctx.SendVolume(a.parent, msgPartial{round: round, params: agg, child: a.cluster.Index}, e.volume(hopPartial, len(agg)))
 		if a.cluster.Level == e.cfg.FlagLevel {
 			flag := msgFlag{round: round + 1, params: agg, relSize: a.relSize()}
 			for _, ch := range a.children {
-				ctx.SendVolume(ch, flag, int64(len(agg)))
+				ctx.SendVolume(ch, flag, e.volume(hopFlag, len(agg)))
 			}
 			a.armCollect(ctx, round+1, 0)
 		}
@@ -557,16 +609,20 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 	}
 	e.ins.globalFormed()
 	e.globalReady[round] = ctx.Now()
+	// Dissemination codec hop: encoded against the previous global, then the
+	// decoded result becomes the reference for everything formed after it.
+	e.transcodeHop(global, e.lastRef)
+	e.lastRef = global
 	e.result.FinalParams = global
 	e.evaluate(round, ctx.Now(), global)
 	gm := msgGlobal{round: round, params: global, formedAt: ctx.Now()}
 	for _, ch := range t.children {
-		ctx.SendVolume(ch, gm, int64(len(global)))
+		ctx.SendVolume(ch, gm, e.volume(hopGlobal, len(global)))
 	}
 	if e.cfg.FlagLevel == 0 {
 		flag := msgFlag{round: round + 1, params: global, relSize: 1}
 		for _, ch := range t.children {
-			ctx.SendVolume(ch, flag, int64(len(global)))
+			ctx.SendVolume(ch, flag, e.volume(hopFlag, len(global)))
 		}
 	}
 	t.completed++
@@ -653,6 +709,7 @@ func Run(cfg Config) (*Result, error) {
 	e.ins = newInstruments(cfg.Telemetry, tree.Depth())
 	e.fe = newFilterEmitter(e.ins, cfg.OnFilter)
 	e.fe.attach(e.aggScratch)
+	e.cs = codec.NewScratch()
 	quorum := cfg.Quorum
 	if quorum == 0 {
 		quorum = 1
@@ -700,6 +757,10 @@ func Run(cfg Config) (*Result, error) {
 
 	// --- Register actors.
 	init := nn.New(root.Derive("init"), e.sizes...).Params()
+	// Everyone bootstraps from the initial model, so it is the first Delta
+	// reference; each formed global replaces it.
+	e.lastRef = init
+	e.ins.codecInfo(cfg.Codec, len(init))
 	devActors := make([]*deviceActor, devices)
 	for id := 0; id < devices; id++ {
 		m := nn.NewShaped(e.sizes...)
@@ -778,6 +839,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if _, err := sim.Run(0); err != nil {
 		return nil, err
+	}
+	if e.codecErr != nil {
+		return nil, e.codecErr
 	}
 	e.result.CompletedRounds = topA.completed
 	if !e.done {

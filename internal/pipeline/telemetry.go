@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/simnet"
 	"abdhfl/internal/telemetry"
@@ -42,6 +43,10 @@ type instruments struct {
 	dropped   *telemetry.Counter
 	droppedUn *telemetry.Counter
 	dup       *telemetry.Counter
+	// Codec accounting: encoded bytes shipped per hop kind, and the
+	// configured codec's compression ratio at the run's model dimension.
+	wireHops [numHops]*telemetry.Counter
+	ratio    *telemetry.Gauge
 	// kept/clipped/trimmed are indexed by tree level (0 = top).
 	kept    []*telemetry.Counter
 	clipped []*telemetry.Counter
@@ -68,6 +73,10 @@ func newInstruments(reg *telemetry.Registry, levels int) *instruments {
 		dropped:   reg.Counter(`abdhfl_simnet_dropped_total{reason="fault"}`),
 		droppedUn: reg.Counter(`abdhfl_simnet_dropped_total{reason="unregistered"}`),
 		dup:       reg.Counter("abdhfl_simnet_duplicated_total"),
+	}
+	ins.ratio = reg.Gauge(`abdhfl_codec_compression_ratio{engine="pipeline"}`)
+	for h := 0; h < numHops; h++ {
+		ins.wireHops[h] = reg.Counter(fmt.Sprintf(`abdhfl_codec_wire_bytes_total{engine="pipeline",hop=%q}`, hopNames[h]))
 	}
 	for p := 0; p < numSigmas; p++ {
 		ins.sigma[p] = reg.Histogram(fmt.Sprintf(`abdhfl_pipeline_sigma_vms{phase=%q}`, sigmaNames[p]), vms)
@@ -135,6 +144,23 @@ func (ins *instruments) omitted() {
 	if ins != nil {
 		ins.omit.Inc()
 	}
+}
+
+// wireHop records one model transfer's encoded bytes on the given hop kind.
+func (ins *instruments) wireHop(hop int, n int64) {
+	if ins != nil {
+		ins.wireHops[hop].Add(n)
+	}
+}
+
+// codecInfo publishes the configured codec's compression ratio (raw float64
+// bytes over wire bytes at the run's model dimension); a nil codec leaves
+// the gauge at zero.
+func (ins *instruments) codecInfo(c codec.Codec, dim int) {
+	if ins == nil || c == nil || dim == 0 {
+		return
+	}
+	ins.ratio.Set(float64(8*dim) / float64(c.WireBytes(dim)))
 }
 
 // network publishes the simulator's end-of-run fault and loss counters.

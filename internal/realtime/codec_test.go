@@ -1,0 +1,36 @@
+package realtime
+
+import (
+	"testing"
+
+	"abdhfl/internal/codec"
+)
+
+// Realtime runs are not bit-reproducible (goroutine scheduling picks the
+// quorum subsets), so codec coverage here is smoke-level: the protocol still
+// converges through lossy hops, and wire bytes are tallied.
+func TestRealtimeWithCodec(t *testing.T) {
+	for _, name := range []string{"identity", "int8", "delta"} {
+		c, err := codec.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := buildConfig(t, 3, 2, 2, 15, 1, 0)
+		cfg.Codec = c
+		res := runWithTimeout(t, cfg)
+		if res.FinalAccuracy < 0.45 {
+			t.Fatalf("%s: realtime accuracy = %v under codec", name, res.FinalAccuracy)
+		}
+		if res.WireBytes == 0 {
+			t.Fatalf("%s: no wire bytes recorded", name)
+		}
+	}
+}
+
+func TestRealtimeNilCodecNoWireBytes(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 5, 1, 0)
+	res := runWithTimeout(t, cfg)
+	if res.WireBytes != 0 {
+		t.Fatalf("nil codec recorded %d wire bytes", res.WireBytes)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/codec"
 	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/fault"
@@ -92,6 +93,13 @@ type Config struct {
 	// concurrent leader goroutines feed them without extra locking. Nil
 	// disables instrumentation.
 	Telemetry *telemetry.Registry
+	// Codec, when non-nil, passes every freshly formed model (device upload,
+	// partial, global) through one encode→decode hop before it is sent, and
+	// tallies wire bytes in Result.WireBytes. Each goroutine owns its scratch,
+	// so hops add no synchronisation. The Delta codec's reference is the
+	// sender's view of the last global (the round's start model for devices;
+	// zero until a leader has forwarded a global).
+	Codec codec.Codec
 }
 
 // Validate reports configuration errors.
@@ -172,6 +180,11 @@ type Result struct {
 	// DroppedSends counts messages suppressed by the plan's transport-drop
 	// coin.
 	DroppedSends int
+	// WireBytes is the total encoded bytes of every codec hop taken (zero
+	// without a Codec). Realtime charges the hop where the model is formed,
+	// not per forwarded copy — scheduling decides fan-out order, and this
+	// engine's numbers are smoke-level, not accounting-grade.
+	WireBytes int64
 }
 
 // Message kinds flowing through actor inboxes.
@@ -381,6 +394,31 @@ func Run(cfg Config) (*Result, error) {
 		fstats.Unlock()
 	}
 
+	// Codec hops: each goroutine owns its scratch; the wire-byte tally and
+	// the first transcode error funnel through one mutex (hops are rare —
+	// one per formed model — so contention is negligible).
+	var cstats struct {
+		sync.Mutex
+		wireBytes int64
+		err       error
+	}
+	transcode := func(v, ref tensor.Vector, s *codec.Scratch) {
+		if cfg.Codec == nil {
+			return
+		}
+		s.Ref = ref
+		n, err := codec.Transcode(cfg.Codec, v, s)
+		cstats.Lock()
+		if err != nil {
+			if cstats.err == nil {
+				cstats.err = fmt.Errorf("realtime: codec %s: %w", cfg.Codec.Name(), err)
+			}
+		} else {
+			cstats.wireBytes += int64(n)
+		}
+		cstats.Unlock()
+	}
+
 	result := &Result{RoundAccuracy: make([]float64, cfg.Rounds)}
 	var wg sync.WaitGroup
 	goroutines := 0
@@ -411,6 +449,7 @@ func Run(cfg Config) (*Result, error) {
 			defer wg.Done()
 			model := nn.NewShaped(sizes...)
 			ws := nn.NewWorkspace(model)
+			cs := codec.NewScratch()
 			cur := initParams.Clone()
 			round := 0
 			var stashedFlag *envelope
@@ -462,6 +501,9 @@ func Run(cfg Config) (*Result, error) {
 						// Transport loss on the upload link.
 						countDropped()
 					default:
+						// Uplink codec hop; the round's start model is the
+						// Delta reference both ends hold.
+						transcode(out, cur, cs)
 						select {
 						case leaderOf[id] <- envelope{kind: kLocal, round: round, params: out}:
 						case <-done:
@@ -536,6 +578,11 @@ func Run(cfg Config) (*Result, error) {
 				// so the warm buffers must not be shared between goroutines.
 				aggScratch := aggregate.NewScratch(cfg.Workers)
 				ins.attachAudit(aggScratch)
+				cs := codec.NewScratch()
+				// lastGlobal is this leader's view of the newest global model
+				// (updated as globals are forwarded down) — the Delta codec's
+				// reference for the partials it forms.
+				var lastGlobal tensor.Vector
 				// Collect deadlines (faulted runs only): a round whose quorum
 				// never fills aggregates sub-quorum at its deadline; an empty
 				// round backs off, then is abandoned.
@@ -563,6 +610,9 @@ func Run(cfg Config) (*Result, error) {
 						return true
 					}
 					ins.recordAudit(l, aggScratch)
+					// One codec hop per formed partial; the upward send and a
+					// flag release ship the same decoded bytes.
+					transcode(agg, lastGlobal, cs)
 					if plan.DropSend(fmt.Sprintf("partial-%d-%d-%d", l, ci, r)) {
 						countDropped()
 					} else {
@@ -651,6 +701,9 @@ func Run(cfg Config) (*Result, error) {
 							// Failed leader: the subtree below starves too.
 							continue
 						}
+						if env.kind == kGlobal {
+							lastGlobal = env.params
+						}
 						for _, ch := range children {
 							select {
 							case ch <- env:
@@ -694,6 +747,8 @@ func Run(cfg Config) (*Result, error) {
 		need := quorumOf(tree.Top().Size())
 		aggScratch := aggregate.NewScratch(cfg.Workers)
 		ins.attachAudit(aggScratch)
+		cs := codec.NewScratch()
+		var lastGlobal tensor.Vector
 		deadline := map[int]time.Time{}
 		attempts := map[int]int{}
 		arm := func(r int) {
@@ -747,6 +802,10 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return
 			}
+			// Dissemination codec hop against the previous global; everyone
+			// below — and the evaluation — sees the decoded model.
+			transcode(global, lastGlobal, cs)
+			lastGlobal = global
 			evalModel.SetParams(global)
 			result.RoundAccuracy[r] = nn.AccuracyWS(evalModel, evalWS, cfg.TestData)
 			ins.globalFormed(result.RoundAccuracy[r])
@@ -826,6 +885,13 @@ func Run(cfg Config) (*Result, error) {
 	result.Omitted = fstats.omitted
 	result.DroppedSends = fstats.dropped
 	fstats.Unlock()
+	cstats.Lock()
+	result.WireBytes = cstats.wireBytes
+	codecErr := cstats.err
+	cstats.Unlock()
+	if codecErr != nil {
+		return nil, codecErr
+	}
 	for r := cfg.Rounds - 1; r >= 0; r-- {
 		if result.RoundAccuracy[r] > 0 {
 			result.FinalAccuracy = result.RoundAccuracy[r]

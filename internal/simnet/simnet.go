@@ -85,6 +85,7 @@ type Sim struct {
 	nodes    []Handler
 	negNodes map[NodeID]Handler
 	latency  LatencyModel
+	sized    SizedLatencyModel // latency, when it is also bandwidth-aware
 	rng      *rng.RNG
 	frng     *rng.RNG // dedicated stream for fault draws
 	stats    Stats
@@ -122,9 +123,11 @@ func NewSharded(latency LatencyModel, r *rng.RNG, shards, workers int) *Sim {
 	if r == nil {
 		r = rng.New(0)
 	}
+	sized, _ := latency.(SizedLatencyModel)
 	return &Sim{
 		q:       newShardedQueue(shards, workers),
 		latency: latency,
+		sized:   sized,
 		rng:     r,
 		frng:    r.Derive("fault"),
 	}
@@ -234,6 +237,11 @@ func (s *Sim) send(from, to NodeID, payload any, volume int64) {
 			if bw := s.Bandwidth(from, to); bw > 0 {
 				d += float64(volume) / bw
 			}
+		}
+		// The size term is deterministic (no rng), so payload sizes never
+		// perturb the random latency/fault streams drawn above.
+		if s.sized != nil {
+			d += s.sized.SizeDelay(volume, from, to)
 		}
 		at := s.now + Time(d)
 		s.stats.Messages++

@@ -33,6 +33,7 @@ type scenarioJSON struct {
 	TopProtocol    string  `json:"top_protocol,omitempty"`
 	Scheme         int     `json:"scheme,omitempty"`
 	Quorum         float64 `json:"quorum,omitempty"`
+	Codec          string  `json:"codec,omitempty"`
 	EvalEvery      int     `json:"eval_every,omitempty"`
 	Seed           uint64  `json:"seed,omitempty"`
 	Workers        int     `json:"workers,omitempty"`
@@ -63,6 +64,7 @@ func (j scenarioJSON) scenario() Scenario {
 		TopProtocol:       j.TopProtocol,
 		Scheme:            j.Scheme,
 		Quorum:            j.Quorum,
+		Codec:             j.Codec,
 		EvalEvery:         j.EvalEvery,
 		Seed:              j.Seed,
 		Workers:           j.Workers,
@@ -94,6 +96,7 @@ func (s Scenario) jsonView() scenarioJSON {
 		TopProtocol:    s.TopProtocol,
 		Scheme:         s.Scheme,
 		Quorum:         s.Quorum,
+		Codec:          s.Codec,
 		EvalEvery:      s.EvalEvery,
 		Seed:           s.Seed,
 		Workers:        s.Workers,
