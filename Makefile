@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify verify-scale verify-codec bench clean
+.PHONY: build test race vet verify verify-scale verify-codec verify-trace bench clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # verify is the tier-1 gate: everything must pass before a commit.
-verify: vet build race verify-codec
+verify: vet build race verify-codec verify-trace
 
 # verify-scale gates the million-device layer: shard-count and rerun
 # invariance of the sharded event engine, lazy≡eager state equality, cohort
@@ -39,6 +39,15 @@ verify-scale:
 verify-codec:
 	$(GO) test -race -run 'Codec|RoundTrip|Alloc|Corrupt|NonFinite|ByName|Transcode|Bandwidth' \
 		./internal/codec ./internal/simnet ./internal/core ./internal/pipeline ./internal/realtime ./internal/experiments
+
+# verify-trace gates the causal-span layer: shard-merge and worker-count
+# byte-identity of the exported streams on every engine, concurrent
+# recording under -race, Chrome/Perfetto JSON schema sanity, critical-path
+# invariants, the flight-recorder ring, and the zero-allocation hooks.
+verify-trace:
+	$(GO) test -race -run 'Span|Trace|Chrome|CriticalPath|Flight|Shard' \
+		./internal/trace ./internal/core ./internal/pipeline ./internal/realtime \
+		./internal/experiments ./internal/chaostest
 
 # bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
 bench:

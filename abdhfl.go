@@ -25,6 +25,7 @@ import (
 	"abdhfl/internal/rng"
 	"abdhfl/internal/telemetry"
 	"abdhfl/internal/topology"
+	"abdhfl/internal/trace"
 )
 
 // Distribution selects how training data is split across clients.
@@ -253,6 +254,9 @@ type Materials struct {
 	// per-(level, cluster, round) filter verdict. Both default to off.
 	Telemetry *telemetry.Registry
 	OnFilter  func(telemetry.FilterDecision)
+	// Trace, when set before a Run* call, receives the engines' causal spans
+	// (see internal/trace); nil disables emission entirely.
+	Trace *trace.Tracer
 	// Codec is the resolved update codec (nil when Scenario.Codec is empty),
 	// passed to every engine the materials drive.
 	Codec codec.Codec
@@ -447,6 +451,7 @@ func (m *Materials) CoreConfig(seed uint64) core.Config {
 		Cohort:           m.Scenario.Cohort,
 		Telemetry:        m.Telemetry,
 		OnFilter:         m.OnFilter,
+		Trace:            m.Trace,
 		Codec:            m.Codec,
 	}
 }
@@ -478,6 +483,7 @@ func (m *Materials) RunVanilla(seed uint64) (*core.Result, error) {
 		Cohort:      m.Scenario.Cohort,
 		Telemetry:   m.Telemetry,
 		OnFilter:    m.OnFilter,
+		Trace:       m.Trace,
 		Codec:       m.Codec,
 	})
 }
@@ -509,6 +515,7 @@ func (m *Materials) PipelineConfig(seed uint64, flagLevel int, timing pipeline.T
 		Workers:          m.Scenario.Workers,
 		Telemetry:        m.Telemetry,
 		OnFilter:         m.OnFilter,
+		Trace:            m.Trace,
 		Codec:            m.Codec,
 	}, nil
 }

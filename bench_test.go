@@ -18,6 +18,7 @@ import (
 	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
+	"abdhfl/internal/trace"
 )
 
 // benchScenario is a reduced paper-shape scenario reused by the benches.
@@ -175,6 +176,36 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			if _, err := m.RunHFL(uint64(i + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkTraceOverhead runs the same attacked round engine with the span
+// tracer detached (off) and attached (on). A nil tracer is a single pointer
+// check on every emission site, so the disabled arm must cost 0%; the
+// enabled arm records every round/phase/train/aggregate/global span plus the
+// per-aggregation filter audit and must stay within the <=2% budget
+// (ISSUE 8 acceptance).
+func BenchmarkTraceOverhead(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		s := benchScenario(func(s *Scenario) {
+			s.Attack = AttackType1
+			s.MaliciousFraction = 0.25
+		})
+		m, err := Build(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if attach {
+				m.Trace = trace.NewTracer(8, 0)
+			}
 			if _, err := m.RunHFL(uint64(i + 1)); err != nil {
 				b.Fatal(err)
 			}

@@ -21,6 +21,7 @@ import (
 
 	"abdhfl/internal/experiments"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 )
 
 func main() {
@@ -37,6 +38,9 @@ func main() {
 		rates   = flag.String("rates", "0,0.1,0.2,0.3", "comma-separated fault intensities")
 		taddr   = flag.String("telemetry-addr", "",
 			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
+		traceJSONL = flag.String("trace-jsonl", "",
+			"record causal spans across every cell's run and write the merged stream as JSON Lines to this file")
+		traceCap = flag.Int("trace-cap", 0, "retained span bound (0 = default)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,10 @@ func main() {
 	}
 	fmt.Printf("Chaos matrix — fault rate x scheme, %d rounds, quorum %.2f, flag level %d, %.0f%% poisoned, seed %d\n\n",
 		*rounds, *quorum, *flagLvl, *mal*100, *seed)
+	var tracer *trace.Tracer
+	if *traceJSONL != "" {
+		tracer = trace.NewTracer(8, *traceCap)
+	}
 	results, err := experiments.RunChaos(experiments.ChaosOptions{
 		Levels:      *levels,
 		ClusterSize: *m,
@@ -67,6 +75,7 @@ func main() {
 		Malicious:   malicious,
 		FaultRates:  faultRates,
 		Telemetry:   telemetry.MaybeServe(*taddr),
+		Trace:       tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -79,6 +88,23 @@ func main() {
 	fmt.Println("are what degrade. Accuracy need not fall monotonically with the rate,")
 	fmt.Println("because transport loss also thins the poisoned uploads and dropped global")
 	fmt.Println("broadcasts reduce the correction-factor drag of Eq. (1).")
+	if tracer != nil {
+		if w := trace.DroppedWarning("span tracer", tracer.Dropped()); w != "" {
+			fmt.Println()
+			fmt.Println(w)
+		}
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace: %d spans written to %s\n", tracer.Len(), *traceJSONL)
+	}
 }
 
 func fatal(err error) {

@@ -17,6 +17,7 @@ import (
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/realtime"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 )
 
 func main() {
@@ -45,6 +46,10 @@ func main() {
 		showTree  = flag.Bool("tree", false, "print the tree structure (with Byzantine devices marked) before running")
 		taddr     = flag.String("telemetry-addr", "",
 			"serve Prometheus /metrics, expvar, and pprof on this address (e.g. localhost:9090); empty disables")
+		traceJSONL  = flag.String("trace-jsonl", "", "record causal spans and write the merged stream as JSON Lines to this file")
+		traceChrome = flag.String("trace-chrome", "", "record causal spans and write Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceShards = flag.Int("trace-shards", 8, "tracer shard count (contention knob; never changes output)")
+		traceCap    = flag.Int("trace-cap", 0, "retained span bound (0 = default)")
 	)
 	flag.Parse()
 	if *listRules {
@@ -83,6 +88,14 @@ func main() {
 		fatal(err)
 	}
 	mat.Telemetry = telemetry.MaybeServe(*taddr)
+	var tracer *trace.Tracer
+	if *traceJSONL != "" || *traceChrome != "" {
+		tracer = trace.NewTracer(*traceShards, *traceCap)
+		if mat.Telemetry != nil {
+			tracer.DroppedCounter = mat.Telemetry.Counter("abdhfl_trace_dropped_total")
+		}
+		mat.Trace = tracer
+	}
 	if *showTree {
 		fmt.Print(mat.Tree.Summary())
 		fmt.Println()
@@ -102,6 +115,44 @@ func main() {
 		runRealtime(mat, *flagLvl)
 	default:
 		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	exportTrace(tracer, *traceJSONL, *traceChrome)
+}
+
+// exportTrace writes the recorded span stream to the requested files and
+// surfaces capacity overflow on the summary.
+func exportTrace(tracer *trace.Tracer, jsonl, chrome string) {
+	if tracer == nil {
+		return
+	}
+	if w := trace.DroppedWarning("span tracer", tracer.Dropped()); w != "" {
+		fmt.Println(w)
+	}
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSONL(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d spans written to %s\n", tracer.Len(), jsonl)
+	}
+	if chrome != "" {
+		f, err := os.Create(chrome)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: Chrome trace written to %s (load in ui.perfetto.dev)\n", chrome)
 	}
 }
 
@@ -172,6 +223,7 @@ func runRealtime(mat *abdhfl.Materials, flagLevel int) {
 		Seed:             mat.Scenario.Seed,
 		Codec:            mat.Codec,
 		Telemetry:        mat.Telemetry,
+		Trace:            mat.Trace,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,109 @@
+// Command abdhfl-trace runs one traced pipeline-engine execution and walks
+// its causal span DAG into per-round critical paths: for every formed global
+// round, the chain of work the round actually waited on — straggler device
+// training, the slowest message hop, per-level aggregation windows, global
+// formation — with a per-phase latency breakdown.
+//
+// The span stream is deterministic: the same flags produce byte-identical
+// output (and byte-identical -jsonl / -chrome exports) for every -workers
+// value and every -trace-shards value, which is what makes the committed
+// results_trace_paths.txt diffable. The -chrome export is Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing for a visual timeline of the asynchronous rounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"abdhfl/internal/experiments"
+	"abdhfl/internal/trace"
+)
+
+func main() {
+	var (
+		levels  = flag.Int("levels", 3, "tree depth")
+		m       = flag.Int("m", 4, "cluster size")
+		top     = flag.Int("top", 4, "top-level node count")
+		rounds  = flag.Int("rounds", 10, "global rounds")
+		samples = flag.Int("samples", 80, "samples per client")
+		seed    = flag.Uint64("seed", 1, "seed for data, attack placement, and schedule")
+		flagLvl = flag.Int("flag", 1, "flag level ℓ_F")
+		quorum  = flag.Float64("quorum", 0.75, "collection quorum φ")
+		mal     = flag.Float64("malicious", 0.25, "Type I poisoning fraction (0 for a clean population)")
+		workers = flag.Int("workers", 0, "worker-pool bound (0 = GOMAXPROCS); traced output is identical for every value")
+		shards  = flag.Int("trace-shards", 8, "tracer shard count (contention knob; never changes output)")
+		cap     = flag.Int("trace-cap", 0, "retained span bound (0 = default)")
+		jsonl   = flag.String("jsonl", "", "write the merged span stream as JSON Lines to this file")
+		chrome  = flag.String("chrome", "", "write Chrome trace-event JSON (Perfetto-loadable) to this file")
+	)
+	flag.Parse()
+
+	malicious := *mal
+	if malicious == 0 {
+		malicious = -1 // TraceOptions: negative selects a clean population
+	}
+	rep, err := experiments.RunTracePaths(experiments.TraceOptions{
+		Levels:      *levels,
+		ClusterSize: *m,
+		TopNodes:    *top,
+		Rounds:      *rounds,
+		Samples:     *samples,
+		Seed:        *seed,
+		FlagLevel:   *flagLvl,
+		Quorum:      *quorum,
+		Malicious:   malicious,
+		Workers:     *workers,
+		Shards:      *shards,
+		Cap:         *cap,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Critical paths — pipeline engine, %d rounds, quorum %.2f, flag level %d, %.0f%% poisoned, seed %d\n",
+		*rounds, *quorum, *flagLvl, *mal*100, *seed)
+	fmt.Printf("%d spans recorded, %d rounds completed, final accuracy %.3f\n\n",
+		rep.Spans, rep.CompletedRounds, rep.FinalAccuracy)
+	fmt.Print(rep.Render())
+	fmt.Println("\nEach row is the chain of work its round actually waited on: total")
+	fmt.Println("end-to-end latency split into straggler training, message transit,")
+	fmt.Println("per-level aggregation (including the collect window), and global")
+	fmt.Println("formation, with the slowest hop and the straggler device named.")
+	if w := trace.DroppedWarning("span tracer", rep.Dropped); w != "" {
+		fmt.Println()
+		fmt.Println(w)
+	}
+
+	if *jsonl != "" {
+		if err := writeTo(*jsonl, rep.Tracer.WriteJSONL); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nspan stream written to %s\n", *jsonl)
+	}
+	if *chrome != "" {
+		if err := writeTo(*chrome, rep.Tracer.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nChrome trace written to %s (load in ui.perfetto.dev)\n", *chrome)
+	}
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abdhfl-trace:", err)
+	os.Exit(1)
+}

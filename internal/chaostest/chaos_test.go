@@ -12,6 +12,7 @@ import (
 	"abdhfl/internal/nn"
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/realtime"
+	"abdhfl/internal/trace"
 )
 
 var localCfg = nn.TrainConfig{LearningRate: 0.1, BatchSize: 16, Iterations: 5}
@@ -31,7 +32,9 @@ func chaosPlan(seed uint64, devices int) *fault.Plan {
 
 func pipelineOutcome(fx *chaostest.Fixture, seed uint64, rounds int) chaostest.Outcome {
 	voting := consensus.Voting{}
+	flight := trace.NewFlightRecorder(0)
 	cfg := pipeline.Config{
+		Flight:           flight,
 		Tree:             fx.Tree,
 		Rounds:           rounds,
 		FlagLevel:        1,
@@ -48,7 +51,7 @@ func pipelineOutcome(fx *chaostest.Fixture, seed uint64, rounds int) chaostest.O
 		EvalEvery:        1,
 	}
 	res, err := pipeline.Run(cfg)
-	o := chaostest.Outcome{Name: "pipeline", Err: err, ConfiguredRounds: rounds, AccuracyFloor: 0.15}
+	o := chaostest.Outcome{Name: "pipeline", Err: err, ConfiguredRounds: rounds, AccuracyFloor: 0.15, Flight: flight}
 	if res != nil {
 		o.CompletedRounds = res.CompletedRounds
 		o.FinalAccuracy = res.FinalAccuracy

@@ -20,6 +20,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/topology"
+	"abdhfl/internal/trace"
 )
 
 // Fixture bundles the deterministic inputs of one engine run: tree, device
@@ -75,34 +76,58 @@ type Outcome struct {
 	// Sigmas holds the run's timing decompositions, if the engine measures
 	// them.
 	Sigmas []SigmaRound
+	// Flight, when non-nil, is the run's flight recorder: Check dumps its
+	// tail (the last raw simulator deliveries before the failure) alongside
+	// the first invariant violation, so a chaos failure arrives with its own
+	// post-mortem instead of just a final-state assertion message.
+	Flight *trace.FlightRecorder
 }
 
-// Check asserts one outcome's invariants.
-func Check(t *testing.T, o Outcome) {
-	t.Helper()
+// Violations returns every invariant the outcome breaks, in check order; an
+// empty slice means the outcome is clean. Check wraps this for tests; the
+// split form lets harnesses (and the flight-recorder dump test) inspect
+// violations without a *testing.T.
+func Violations(o Outcome) []string {
+	var v []string
 	if o.Err != nil {
-		t.Fatalf("%s: run errored: %v", o.Name, o.Err)
+		v = append(v, fmt.Sprintf("%s: run errored: %v", o.Name, o.Err))
 	}
 	if o.CompletedRounds < 0 || o.CompletedRounds > o.ConfiguredRounds {
-		t.Fatalf("%s: completed %d of %d configured rounds", o.Name, o.CompletedRounds, o.ConfiguredRounds)
+		v = append(v, fmt.Sprintf("%s: completed %d of %d configured rounds", o.Name, o.CompletedRounds, o.ConfiguredRounds))
 	}
 	if o.AccuracyFloor > 0 && o.CompletedRounds == o.ConfiguredRounds && o.FinalAccuracy < o.AccuracyFloor {
-		t.Fatalf("%s: accuracy %.3f below floor %.3f with all %d rounds completed",
-			o.Name, o.FinalAccuracy, o.AccuracyFloor, o.ConfiguredRounds)
+		v = append(v, fmt.Sprintf("%s: accuracy %.3f below floor %.3f with all %d rounds completed",
+			o.Name, o.FinalAccuracy, o.AccuracyFloor, o.ConfiguredRounds))
 	}
 	for i, s := range o.Sigmas {
-		for what, v := range map[string]float64{"sigma_w": s.W, "sigma_p": s.P, "sigma_g": s.G, "sigma": s.Total} {
-			if v < -1e-9 || math.IsNaN(v) || math.IsInf(v, 0) {
-				t.Fatalf("%s: round %d %s = %v", o.Name, i, what, v)
+		for what, val := range map[string]float64{"sigma_w": s.W, "sigma_p": s.P, "sigma_g": s.G, "sigma": s.Total} {
+			if val < -1e-9 || math.IsNaN(val) || math.IsInf(val, 0) {
+				v = append(v, fmt.Sprintf("%s: round %d %s = %v", o.Name, i, what, val))
 			}
 		}
 		if got := s.W + s.P + s.G; math.Abs(got-s.Total) > 1e-6 {
-			t.Fatalf("%s: round %d decomposition %v != sigma %v", o.Name, i, got, s.Total)
+			v = append(v, fmt.Sprintf("%s: round %d decomposition %v != sigma %v", o.Name, i, got, s.Total))
 		}
 		if s.Nu < -1e-9 || s.Nu > 1+1e-9 {
-			t.Fatalf("%s: round %d nu = %v out of [0,1]", o.Name, i, s.Nu)
+			v = append(v, fmt.Sprintf("%s: round %d nu = %v out of [0,1]", o.Name, i, s.Nu))
 		}
 	}
+	return v
+}
+
+// Check asserts one outcome's invariants, dumping the flight recorder's tail
+// before failing so the violation report carries the simulator's last
+// deliveries.
+func Check(t *testing.T, o Outcome) {
+	t.Helper()
+	v := Violations(o)
+	if len(v) == 0 {
+		return
+	}
+	if o.Flight != nil && o.Flight.Total() > 0 {
+		t.Logf("%s", o.Flight.Dump())
+	}
+	t.Fatalf("%s", v[0])
 }
 
 // Sweep runs fn once per seed under panic and deadlock protection, then

@@ -1,0 +1,60 @@
+package chaostest_test
+
+import (
+	"strings"
+	"testing"
+
+	"abdhfl/internal/chaostest"
+	"abdhfl/internal/trace"
+)
+
+// TestViolationsCatchesInjectedFailure pins the violation detector itself:
+// an outcome doctored to break the round-accounting invariant must be
+// reported, and a clean outcome must not.
+func TestViolationsCatchesInjectedFailure(t *testing.T) {
+	bad := chaostest.Outcome{Name: "doctored", ConfiguredRounds: 3, CompletedRounds: 5}
+	v := chaostest.Violations(bad)
+	if len(v) == 0 {
+		t.Fatal("doctored outcome (completed > configured) reported no violations")
+	}
+	if !strings.Contains(v[0], "completed 5 of 3") {
+		t.Fatalf("violation message %q does not describe the round accounting", v[0])
+	}
+	if v := chaostest.Violations(chaostest.Outcome{Name: "ok", ConfiguredRounds: 3, CompletedRounds: 3}); len(v) != 0 {
+		t.Fatalf("clean outcome reported violations: %v", v)
+	}
+}
+
+// TestFlightRecorderDumpOnViolation runs a real chaotic pipeline sweep with
+// the flight recorder attached, then injects an invariant failure into the
+// outcome and asserts the post-mortem Check would log: the recorder holds the
+// simulator's last deliveries, and its dump renders them. This is exactly the
+// material Check t.Logf's before Fatalf — exercised here without failing the
+// suite.
+func TestFlightRecorderDumpOnViolation(t *testing.T) {
+	fx := chaostest.NewFixture(t, 7, 3, 2, 2)
+	o := pipelineOutcome(fx, 3, 3)
+	if o.Err != nil {
+		t.Fatalf("chaos run errored: %v", o.Err)
+	}
+	if o.Flight == nil || o.Flight.Total() == 0 {
+		t.Fatal("chaotic pipeline run recorded no flight events")
+	}
+	// Deliberately violate the accuracy-floor invariant.
+	o.AccuracyFloor = 2
+	o.CompletedRounds = o.ConfiguredRounds
+	if v := chaostest.Violations(o); len(v) == 0 {
+		t.Fatal("injected accuracy violation not detected")
+	}
+	dump := o.Flight.Dump()
+	if !strings.Contains(dump, "flight recorder: last") {
+		t.Fatalf("dump missing header:\n%s", dump)
+	}
+	if !strings.Contains(dump, `"kind":"message"`) {
+		t.Fatalf("dump carries no delivery events:\n%s", dump)
+	}
+	tail := o.Flight.Tail()
+	if len(tail) == 0 || len(tail) > trace.DefaultFlightCap {
+		t.Fatalf("tail length %d out of (0, %d]", len(tail), trace.DefaultFlightCap)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 	"abdhfl/internal/topology"
 )
 
@@ -106,6 +107,12 @@ type Config struct {
 	// each (level, cluster, round). The decision's id slices are reused
 	// between calls; consumers must copy or reduce them before returning.
 	OnFilter func(telemetry.FilterDecision)
+	// Trace, when non-nil, receives causal spans on a deterministic logical
+	// clock: per-device train spans, per-(level,cluster) aggregations with
+	// rule and kept/filtered counts, global formation, phase envelopes, and
+	// round spans. Output is byte-identical for every Workers value and
+	// tracer shard count. Nil disables emission entirely.
+	Trace *trace.Tracer
 	// Workers bounds the worker pools of the run's parallel hot paths:
 	// local training, consensus validator scoring, test-set evaluation, and
 	// the robust-aggregation kernels (coordinate statistics and pairwise

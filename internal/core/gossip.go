@@ -12,6 +12,7 @@ import (
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 	"abdhfl/internal/tensor"
 )
 
@@ -59,6 +60,10 @@ type GossipConfig struct {
 	// gossip partners identical bytes. Gossip has no shared global model, so
 	// the Delta codec runs with a zero reference here.
 	Codec codec.Codec
+	// Trace mirrors Config.Trace: causal spans on the logical clock. Gossip
+	// forms no global model, so each device's train span feeds its own
+	// neighbourhood aggregation and rounds have no critical path.
+	Trace *trace.Tracer
 }
 
 // Validate reports configuration errors.
@@ -145,12 +150,18 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	ins.codecInfo(cfg.Codec, len(initParams))
 	fe := newFilterEmitter(ins, cfg.OnFilter, "gossip")
 	fe.attach(aggScratch)
+	ct := newCoreTracer(cfg.Trace, 0, wireBytesOf(cfg.Codec, len(initParams)))
+	if ct != nil && fe == nil {
+		fe = &filterEmitter{engine: "gossip"}
+		fe.attach(aggScratch)
+	}
 	group := make([]tensor.Vector, 0, fanout+1)
 	groupIDs := make([]int, 0, fanout+1)
 	dim := len(initParams)
 	var aggBufs [2][]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		ct.beginRound(round)
 		var tRound, tPhase time.Time
 		commBefore := res.Comm
 		if ins.enabled() {
@@ -162,6 +173,13 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 		skip := drawGossipSkip(cfg, roundRNG, devices)
 		trainLocalFrom(trainer, hcfg, params, trained, skip, roundRNG)
 		res.TrainerActivations += devices - len(skip)
+		if ct != nil {
+			for id := 0; id < devices; id++ {
+				if !skip[id] {
+					ct.trainGossip(round, id)
+				}
+			}
+		}
 		// Codec hop: each device encodes its round model once; every peer
 		// that pulls it receives the same decoded copy.
 		if cfg.Codec != nil {
@@ -198,6 +216,10 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 				return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
 			}
 			fe.emitAudit(0, id, round, groupIDs)
+			if ct != nil {
+				kept, filtered := fe.verdictCounts()
+				ct.gossipAggregate(round, id, cfg.Aggregator.Name(), kept, filtered)
+			}
 			res.Comm.ModelTransfers += len(group) - 1
 		}
 		params = next
@@ -221,6 +243,7 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			acc := sum / float64(evalSample)
 			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: acc})
 			ins.evalDone(acc, 0)
+			ct.eval(round)
 			if ins.enabled() {
 				ins.observePhase(phaseEval, time.Since(tPhase))
 			}
@@ -232,6 +255,7 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			delta.WireBytes -= commBefore.WireBytes
 			ins.roundDone(time.Since(tRound), delta)
 		}
+		ct.endRound(round)
 	}
 	if len(res.Curve) > 0 {
 		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy

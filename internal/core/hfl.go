@@ -65,6 +65,15 @@ func RunHFL(cfg Config) (*Result, error) {
 	fe := newFilterEmitter(ins, cfg.OnFilter, "hfl")
 	fe.attach(aggScratch)
 	dim := len(globalParams)
+	ct := newCoreTracer(cfg.Trace, tree.Bottom(), wireBytesOf(cfg.Codec, dim))
+	if ct != nil && fe == nil {
+		// Spans carry kept/filtered counts, which come from the filter
+		// audit; run an audit-only emitter (no telemetry, no callback) so
+		// the rules record verdicts. Auditing observes, never changes, what
+		// a rule computes.
+		fe = &filterEmitter{engine: "hfl"}
+		fe.attach(aggScratch)
+	}
 	partialBufs := make([][]tensor.Vector, len(tree.Clusters))
 	levelOut := make([][]tensor.Vector, len(tree.Clusters))
 	for lvl := range tree.Clusters {
@@ -78,6 +87,7 @@ func RunHFL(cfg Config) (*Result, error) {
 	baseTree := tree
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		ct.beginRound(round)
 		var tRound, tPhase time.Time
 		commBefore := res.Comm
 		if ins.enabled() {
@@ -106,6 +116,18 @@ func RunHFL(cfg Config) (*Result, error) {
 		// --- Model-update attacks by Byzantine devices (omniscient model).
 		if cfg.ModelAttack != nil {
 			applyModelAttack(cfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+
+		if ct != nil {
+			// Train spans, cluster by cluster in member order — the same
+			// order for every worker count.
+			for ci, c := range tree.Clusters[tree.Bottom()] {
+				for _, m := range c.Members {
+					if updates[m] != nil {
+						ct.train(round, m, ci)
+					}
+				}
+			}
 		}
 
 		// --- Device→leader uplink: each submitted update crosses one codec
@@ -175,6 +197,14 @@ func RunHFL(cfg Config) (*Result, error) {
 				if err != nil {
 					return nil, fmt.Errorf("core: round %d level %d cluster %d: %w", round, lvl, ci, err)
 				}
+				if ct != nil {
+					parentCi := -1
+					if lvl > 1 {
+						parentCi = tree.Parent(lvl, ci).Index
+					}
+					kept, filtered := fe.verdictCounts()
+					ct.aggregate(round, lvl, ci, parentCi, ruleForLevel(cfg, lvl).Name(), kept, filtered)
+				}
 				res.Comm.Add(comm)
 				// Leader→parent uplink: the freshly formed partial crosses the
 				// next codec hop before the level above consumes it.
@@ -200,6 +230,10 @@ func RunHFL(cfg Config) (*Result, error) {
 		}
 		res.Comm.Add(comm)
 		res.ExcludedByConsensus += excluded
+		if ct != nil {
+			kept, filtered := fe.verdictCounts()
+			ct.global(round, cfg.Global.Name(), kept, filtered)
+		}
 		// Dissemination downlink: the new global crosses one codec hop (all
 		// broadcast copies carry the same encoding), deltas referenced
 		// against the previous global every receiver still holds. The
@@ -230,6 +264,7 @@ func RunHFL(cfg Config) (*Result, error) {
 			stat := RoundStat{Round: round + 1, Accuracy: acc, Loss: loss}
 			res.Curve = append(res.Curve, stat)
 			ins.evalDone(acc, loss)
+			ct.eval(round)
 			if cfg.OnRound != nil {
 				cfg.OnRound(stat)
 			}
@@ -250,6 +285,7 @@ func RunHFL(cfg Config) (*Result, error) {
 			delta.WireBytes -= commBefore.WireBytes
 			ins.roundDone(time.Since(tRound), delta)
 		}
+		ct.endRound(round)
 	}
 	if len(res.Curve) > 0 {
 		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy

@@ -232,3 +232,13 @@ func (f *filterEmitter) emitConsensus(level, cluster, round int, ids []int, rule
 	f.ins.consensusStats(st)
 	f.publish(level, cluster, round, rule)
 }
+
+// verdictCounts reports the last emitted verdict's tallies: contributions
+// that made it into the result (kept + clipped) and those filtered out.
+// Span emission reads these right after emitAudit/emitConsensus.
+func (f *filterEmitter) verdictCounts() (kept, filtered int) {
+	if f == nil {
+		return 0, 0
+	}
+	return len(f.kept) + len(f.clipped), len(f.disc)
+}

@@ -13,6 +13,7 @@ import (
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 	"abdhfl/internal/tensor"
 )
 
@@ -49,6 +50,9 @@ type VanillaConfig struct {
 	// broadcast cross one encode→decode hop, with the round's start model as
 	// the Delta reference.
 	Codec codec.Codec
+	// Trace mirrors Config.Trace: causal spans on the logical clock (train
+	// spans feed the single "global" server aggregation here).
+	Trace *trace.Tracer
 }
 
 // Validate reports configuration errors.
@@ -111,9 +115,15 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 	ins.codecInfo(cfg.Codec, len(globalParams))
 	fe := newFilterEmitter(ins, cfg.OnFilter, "vanilla")
 	fe.attach(aggScratch)
+	ct := newCoreTracer(cfg.Trace, 0, wireBytesOf(cfg.Codec, len(globalParams)))
+	if ct != nil && fe == nil {
+		fe = &filterEmitter{engine: "vanilla"}
+		fe.attach(aggScratch)
+	}
 	var globalBufs [2]tensor.Vector
 	for round := 0; round < cfg.Rounds; round++ {
 		roundRNG := root.Derive(fmt.Sprintf("round-%d", round))
+		ct.beginRound(round)
 		var tRound, tPhase time.Time
 		if ins.enabled() {
 			tRound = time.Now()
@@ -123,6 +133,13 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		res.TrainerActivations += len(trainer.active)
 		if cfg.ModelAttack != nil {
 			applyModelAttack(hcfg, updates, globalParams, roundRNG.Derive("attack"))
+		}
+		if ct != nil {
+			for id, u := range updates {
+				if u != nil {
+					ct.train(round, id, 0)
+				}
+			}
 		}
 		// Client→server uplink: each submitted update crosses one codec hop.
 		if cfg.Codec != nil {
@@ -165,6 +182,10 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		// Without cohort sampling there is no churn in the star baseline, so
 		// update positions are client ids and ids stays nil.
 		fe.emitAudit(0, 0, round, ids)
+		if ct != nil {
+			kept, filtered := fe.verdictCounts()
+			ct.global(round, cfg.Aggregator.Name(), kept, filtered)
+		}
 		// Server→client downlink: the broadcast global crosses one codec hop
 		// (the previous global, still intact in the other buffer, is the
 		// Delta reference every client holds).
@@ -189,6 +210,7 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			acc, loss := nn.Evaluate(evalModel, cfg.TestData, workers)
 			res.Curve = append(res.Curve, RoundStat{Round: round + 1, Accuracy: acc, Loss: loss})
 			ins.evalDone(acc, loss)
+			ct.eval(round)
 			if ins.enabled() {
 				ins.observePhase(phaseEval, time.Since(tPhase))
 			}
@@ -196,6 +218,7 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		if ins.enabled() {
 			ins.roundDone(time.Since(tRound), roundComm)
 		}
+		ct.endRound(round)
 	}
 	if len(res.Curve) > 0 {
 		res.FinalAccuracy = res.Curve[len(res.Curve)-1].Accuracy

@@ -10,6 +10,7 @@ import (
 	"abdhfl/internal/metrics"
 	"abdhfl/internal/pipeline"
 	"abdhfl/internal/telemetry"
+	"abdhfl/internal/trace"
 )
 
 // ChaosOptions parameterises the fault-rate x scheme resilience matrix: each
@@ -37,6 +38,11 @@ type ChaosOptions struct {
 	FaultRates []float64
 	// Telemetry, if non-nil, accumulates every run's engine metrics.
 	Telemetry *telemetry.Registry
+	// Trace, if non-nil, records causal spans from every cell's run into one
+	// shared tracer (rounds repeat across cells, so the merged stream is only
+	// meaningful for capacity/overflow inspection and export — use
+	// RunTracePaths for single-run critical-path analysis).
+	Trace *trace.Tracer
 }
 
 func (o *ChaosOptions) defaults() {
@@ -156,6 +162,10 @@ func RunChaos(o ChaosOptions) ([]ChaosResult, error) {
 		return nil, err
 	}
 	mats.Telemetry = o.Telemetry
+	mats.Trace = o.Trace
+	if o.Trace != nil && o.Telemetry != nil && o.Trace.DroppedCounter == nil {
+		o.Trace.DroppedCounter = o.Telemetry.Counter("abdhfl_trace_dropped_total")
+	}
 
 	var out []ChaosResult
 	for _, rate := range o.FaultRates {

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunTracePathsDeterministic pins the committed artifact's contract:
+// the rendered report and the exported span stream are byte-identical
+// across reruns, worker counts, and tracer shard counts.
+func TestRunTracePathsDeterministic(t *testing.T) {
+	run := func(workers, shards int) (string, string) {
+		rep, err := RunTracePaths(TraceOptions{
+			Levels:      3,
+			ClusterSize: 2,
+			TopNodes:    2,
+			Rounds:      4,
+			Samples:     40,
+			Workers:     workers,
+			Shards:      shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Spans == 0 || len(rep.Paths) == 0 {
+			t.Fatalf("degenerate report: %d spans, %d paths", rep.Spans, len(rep.Paths))
+		}
+		var j strings.Builder
+		if err := rep.Tracer.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Render(), j.String()
+	}
+	wantRender, wantJSONL := run(1, 1)
+	for _, cell := range []struct{ workers, shards int }{{1, 1}, {4, 8}, {3, 64}} {
+		render, jsonl := run(cell.workers, cell.shards)
+		if render != wantRender {
+			t.Fatalf("workers=%d shards=%d changed the rendered report", cell.workers, cell.shards)
+		}
+		if jsonl != wantJSONL {
+			t.Fatalf("workers=%d shards=%d changed the span stream", cell.workers, cell.shards)
+		}
+	}
+	if !strings.Contains(wantRender, "slowest_link") {
+		t.Fatalf("report missing header:\n%s", wantRender)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"abdhfl/internal/simnet"
 	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
+	"abdhfl/internal/trace"
 	"abdhfl/internal/topology"
 )
 
@@ -203,6 +204,17 @@ type Config struct {
 	// deterministic); zero selects GOMAXPROCS. Results are bit-identical for
 	// every value.
 	Workers int
+	// Trace, when non-nil, receives causal spans for every round: device
+	// train spans, counted uplink/partial message hops, per-cluster
+	// aggregations (with rule and kept/filtered counts), global formation,
+	// and round envelopes — all on the virtual clock, byte-identical
+	// across Workers and tracer shard counts. Nil disables emission
+	// entirely (zero overhead).
+	Trace *trace.Tracer
+	// Flight, when non-nil, mirrors every delivered simulator message into
+	// a bounded ring buffer; chaostest dumps its tail when an invariant
+	// trips.
+	Flight *trace.FlightRecorder
 }
 
 // Validate reports configuration errors.

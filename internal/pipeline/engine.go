@@ -14,6 +14,7 @@ import (
 	"abdhfl/internal/simnet"
 	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
+	"abdhfl/internal/trace"
 )
 
 // Message payloads exchanged between actors.
@@ -99,6 +100,13 @@ type engine struct {
 	cs       *codec.Scratch
 	lastRef  tensor.Vector
 	codecErr error
+	// tr is the optional causal span tracer (nil disables emission
+	// entirely — every trace* helper returns immediately). deviceCluster
+	// maps device id -> bottom cluster index and roundStart records each
+	// round's earliest device training start, both only for span attrs.
+	tr            *trace.Tracer
+	deviceCluster []int
+	roundStart    map[int]simnet.Time
 }
 
 // Hop indices of the per-hop wire-byte counters.
@@ -182,6 +190,7 @@ type deviceActor struct {
 	relSize     float64
 	training    bool
 	curRound    int
+	trainStart  simnet.Time
 	stashedFlag *msgFlag
 	pending     []msgGlobal
 	seenGlobal  map[int]bool
@@ -227,6 +236,12 @@ func (d *deviceActor) start(ctx *simnet.Context, round int, params tensor.Vector
 	d.training = true
 	d.curRound = round
 	d.relSize = relSize
+	if d.e.tr != nil {
+		d.trainStart = ctx.Now()
+		if _, ok := d.e.roundStart[round]; !ok {
+			d.e.roundStart[round] = ctx.Now()
+		}
+	}
 	startParams := params.Clone()
 	dur := d.e.trainDuration(d.id, round)
 	ctx.After(dur, func(ctx *simnet.Context) { d.finish(ctx, round, startParams) })
@@ -260,6 +275,7 @@ func (d *deviceActor) finish(ctx *simnet.Context, round int, startParams tensor.
 	}
 	d.pending = d.pending[:0]
 	d.training = false
+	e.traceTrain(d.id, round, d.trainStart, ctx.Now())
 	if e.plan.OmitUpload(d.id, round) {
 		// Omission-Byzantine: train, receive, but silently withhold the
 		// upload. The leader's quorum/timeout machinery must absorb it.
@@ -317,12 +333,12 @@ func (a *clusterActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 		if a.failed(m.round) {
 			return
 		}
-		a.receive(ctx, m.round, m.params, m.dev)
+		a.receive(ctx, m.round, m.params, m.dev, msg.SentAt, -1)
 	case msgPartial:
 		if a.failed(m.round) {
 			return
 		}
-		a.receive(ctx, m.round, m.params, e.tree.Clusters[a.cluster.Level+1][m.child].Leader)
+		a.receive(ctx, m.round, m.params, e.tree.Clusters[a.cluster.Level+1][m.child].Leader, msg.SentAt, m.child)
 	case msgFlag:
 		if a.failed(m.round) {
 			return
@@ -399,7 +415,10 @@ func (a *clusterActor) collectDeadline(ctx *simnet.Context, round, attempt int) 
 	e.abandoned()
 }
 
-func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector, from int) {
+// receive counts one contribution: a device upload (child < 0, from is the
+// device id) or a child cluster's partial (child is its index at the level
+// below). sentAt is the hop's send time, kept only for span emission.
+func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vector, from int, sentAt simnet.Time, child int) {
 	e := a.e
 	if a.closed[round] || round >= e.cfg.Rounds {
 		return
@@ -411,6 +430,11 @@ func (a *clusterActor) receive(ctx *simnet.Context, round int, params tensor.Vec
 		a.seen[round] = map[int]bool{}
 	}
 	a.seen[round][from] = true
+	if child < 0 {
+		e.traceUplink(from, round, a.cluster.Level, a.cluster.Index, sentAt, ctx.Now(), len(params))
+	} else {
+		e.tracePartial(a.cluster.Level+1, child, round, a.cluster.Level, a.cluster.Index, sentAt, ctx.Now(), len(params))
+	}
 	if a.isBottom {
 		bi := a.cluster.Index
 		if _, ok := e.firstArrival[bi][round]; !ok {
@@ -454,6 +478,7 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 	delete(a.collected, round)
 	delete(a.collectedIDs, round)
 	delete(a.seen, round)
+	closeAt := ctx.Now()
 	dur := e.aggDuration(a.cluster.Level, a.cluster.Index, round)
 	ctx.After(dur, func(ctx *simnet.Context) {
 		if a.failed(round) {
@@ -464,6 +489,7 @@ func (a *clusterActor) aggregateRound(ctx *simnet.Context, round int) {
 			// A malformed quorum at runtime: drop the round for this cluster.
 			return
 		}
+		e.traceAggregate(a.cluster.Level, a.cluster.Index, round, len(vecs), closeAt, ctx.Now(), e.cfg.PartialBRA.Name())
 		e.fe.emitAudit(a.cluster.Level, a.cluster.Index, round, ids)
 		// One codec hop per formed partial: the upward send and the flag
 		// release below ship the same encoded bytes.
@@ -520,6 +546,7 @@ func (t *topActor) OnMessage(ctx *simnet.Context, msg simnet.Message) {
 	if _, seen := e.firstPartial[m.round]; !seen {
 		e.firstPartial[m.round] = ctx.Now()
 	}
+	e.tracePartial(1, m.child, m.round, -1, 0, msg.SentAt, ctx.Now(), len(m.params))
 	t.collected[m.round] = append(t.collected[m.round], m.params)
 	if e.fe != nil {
 		t.collectedIDs[m.round] = append(t.collectedIDs[m.round], e.tree.Clusters[1][m.child].Leader)
@@ -585,6 +612,8 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 	e := t.e
 	var global tensor.Vector
 	var err error
+	kept, filtered := len(vecs), 0
+	rule := ""
 	if e.cfg.TopVoting != nil {
 		cctx := &consensus.Context{
 			Members:   len(vecs),
@@ -595,12 +624,16 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 		var st consensus.Stats
 		global, st, err = e.cfg.TopVoting.Agree(cctx, vecs)
 		if err == nil {
+			rule = e.cfg.TopVoting.Name()
+			kept, filtered = len(vecs)-len(st.Excluded), len(st.Excluded)
 			e.fe.emitConsensus(0, 0, round, ids, e.cfg.TopVoting.Name(), st)
 		}
 	} else {
 		global = tensor.NewVector(len(vecs[0]))
 		err = e.cfg.TopBRA.AggregateInto(global, e.aggScratch, vecs)
 		if err == nil {
+			rule = e.cfg.TopBRA.Name()
+			kept, filtered = e.auditCounts(len(vecs))
 			e.fe.emitAudit(0, 0, round, ids)
 		}
 	}
@@ -609,6 +642,7 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 	}
 	e.ins.globalFormed()
 	e.globalReady[round] = ctx.Now()
+	e.traceGlobal(round, kept, filtered, ctx.Now(), rule, len(global))
 	// Dissemination codec hop: encoded against the previous global, then the
 	// decoded result becomes the reference for everything formed after it.
 	e.transcodeHop(global, e.lastRef)
@@ -709,6 +743,16 @@ func Run(cfg Config) (*Result, error) {
 	e.ins = newInstruments(cfg.Telemetry, tree.Depth())
 	e.fe = newFilterEmitter(e.ins, cfg.OnFilter)
 	e.fe.attach(e.aggScratch)
+	e.tr = cfg.Trace
+	e.roundStart = map[int]simnet.Time{}
+	if e.tr != nil && e.aggScratch.Audit == nil {
+		// Spans carry kept/filtered counts; audit recording observes the
+		// rules without changing what they compute.
+		e.aggScratch.Audit = new(aggregate.FilterAudit)
+	}
+	if cfg.Flight != nil {
+		sim.Trace = cfg.Flight.Hook()
+	}
 	e.cs = codec.NewScratch()
 	quorum := cfg.Quorum
 	if quorum == 0 {
@@ -737,10 +781,12 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	e.deviceLeader = make([]simnet.NodeID, devices)
+	e.deviceCluster = make([]int, devices)
 	bottom := tree.Bottom()
 	for i, c := range tree.Clusters[bottom] {
 		for _, m := range c.Members {
 			e.deviceLeader[m] = e.clusterNode[bottom][i]
+			e.deviceCluster[m] = i
 		}
 	}
 	nBottom := len(tree.Clusters[bottom])

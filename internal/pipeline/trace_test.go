@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"abdhfl/internal/trace"
+)
+
+// TestPipelineSpanStreamGolden pins the tentpole promise on the asynchronous
+// engine: the exported span stream is byte-identical for every (Workers,
+// tracer shards) combination, because spans carry explicit sequence numbers
+// assigned on the deterministic event loop.
+func TestPipelineSpanStreamGolden(t *testing.T) {
+	var want string
+	for _, cell := range []struct{ workers, shards int }{
+		{1, 1}, {4, 8}, {7, 32},
+	} {
+		cfg := buildConfig(t, 3, 2, 2, 4, 1, 2)
+		cfg.Workers = cell.workers
+		tr := trace.NewTracer(cell.shards, 0)
+		cfg.Trace = tr
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("traced pipeline run recorded no spans")
+		}
+		var j, c strings.Builder
+		if err := tr.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(&c); err != nil {
+			t.Fatal(err)
+		}
+		got := j.String() + "\x00" + c.String()
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d shards=%d produced a different span stream",
+				cell.workers, cell.shards)
+		}
+	}
+	for _, name := range []string{`"name":"round"`, `"name":"train"`, `"name":"msg"`, `"name":"aggregate"`, `"name":"global"`} {
+		if !strings.Contains(want, name) {
+			t.Fatalf("pipeline stream missing %s", name)
+		}
+	}
+}
+
+// TestPipelineCriticalPaths walks a real traced run's span DAG and checks
+// the analysis invariants: one path per formed global, a positive total that
+// equals the sum of its phase buckets, and a straggler device on every path.
+func TestPipelineCriticalPaths(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 5, 1, 0)
+	tr := trace.NewTracer(8, 0)
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := trace.CriticalPaths(tr.Spans())
+	if len(paths) == 0 {
+		t.Fatal("no critical paths from a traced run")
+	}
+	if len(paths) > res.CompletedRounds {
+		t.Fatalf("%d paths for %d completed rounds", len(paths), res.CompletedRounds)
+	}
+	for _, p := range paths {
+		if p.Total <= 0 {
+			t.Fatalf("round %d: non-positive total %v", p.Round, p.Total)
+		}
+		const eps = 1e-9
+		sum := p.TrainMS + p.LinkMS + p.AggregateMS + p.GlobalMS
+		if diff := sum - p.Total; diff > eps || diff < -eps {
+			t.Fatalf("round %d: breakdown %v != total %v", p.Round, sum, p.Total)
+		}
+		if p.TrainMS <= 0 {
+			t.Fatalf("round %d: no training on the critical path", p.Round)
+		}
+		if p.Straggler < 0 {
+			t.Fatalf("round %d: no straggler device", p.Round)
+		}
+		if len(p.Steps) < 3 {
+			t.Fatalf("round %d: path only %d steps", p.Round, len(p.Steps))
+		}
+	}
+	var b strings.Builder
+	trace.RenderPaths(&b, paths)
+	if !strings.Contains(b.String(), "slowest_link") {
+		t.Fatalf("render missing header:\n%s", b.String())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"abdhfl/internal/telemetry"
 	"abdhfl/internal/tensor"
 	"abdhfl/internal/topology"
+	"abdhfl/internal/trace"
 )
 
 // Config describes a realtime run. The rule set mirrors pipeline.Config.
@@ -100,6 +101,12 @@ type Config struct {
 	// sender's view of the last global (the round's start model for devices;
 	// zero until a leader has forwarded a global).
 	Codec codec.Codec
+	// Trace, when non-nil, receives causal spans (train, uplink, aggregate,
+	// partial, global, round) on a wall-clock-milliseconds engine clock. The
+	// tracer is safe for the engine's concurrent goroutines, but — like every
+	// other realtime measurement — the recorded stream is not reproducible
+	// between runs. Nil disables emission entirely.
+	Trace *trace.Tracer
 }
 
 // Validate reports configuration errors.
@@ -349,6 +356,7 @@ func Run(cfg Config) (*Result, error) {
 	var merges sync.Mutex
 	mergeCount := 0
 	ins := newRTInstruments(cfg.Telemetry, tree.Depth())
+	rt := newRTTracer(cfg.Trace, tree, cfg.Codec, len(initParams))
 
 	// Fault machinery: the plan's queries are all nil-safe, so actors consult
 	// it unconditionally. fstats is shared by every goroutine.
@@ -467,12 +475,17 @@ func Run(cfg Config) (*Result, error) {
 				}
 				if !plan.DeviceOffline(id, round) {
 					// Train the current round.
+					var trainStart float64
+					if rt != nil {
+						trainStart = rt.now()
+					}
 					model.SetParams(cur)
 					nn.SGDWS(model, ws, cfg.ClientData[id], cfg.Local, root.Derive(fmt.Sprintf("sgd-%d-%d", id, round)))
 					if cfg.TrainDelay > 0 {
 						time.Sleep(cfg.TrainDelay)
 					}
 					out := model.Params()
+					rt.train(id, round, trainStart)
 					// Drain the inbox: merge globals that arrived while training
 					// (Alg. 2's correction factor), stash flags for the next round.
 					drained := false
@@ -504,6 +517,7 @@ func Run(cfg Config) (*Result, error) {
 						// Uplink codec hop; the round's start model is the
 						// Delta reference both ends hold.
 						transcode(out, cur, cs)
+						rt.uplink(id, round)
 						select {
 						case leaderOf[id] <- envelope{kind: kLocal, round: round, params: out}:
 						case <-done:
@@ -551,11 +565,13 @@ func Run(cfg Config) (*Result, error) {
 		for ci, c := range tree.Clusters[l] {
 			l, ci, c := l, ci, c
 			var parent chan envelope
+			parentLevel, parentCi := -1, 0
 			if l == 1 {
 				parent = clusterInbox[0][0]
 			} else {
 				p := tree.Parent(l, ci)
 				parent = clusterInbox[p.Level][p.Index]
+				parentLevel, parentCi = p.Level, p.Index
 			}
 			var children []chan envelope
 			if l == bottom {
@@ -578,7 +594,11 @@ func Run(cfg Config) (*Result, error) {
 				// so the warm buffers must not be shared between goroutines.
 				aggScratch := aggregate.NewScratch(cfg.Workers)
 				ins.attachAudit(aggScratch)
+				rt.attachAudit(aggScratch)
 				cs := codec.NewScratch()
+				// firstArrival is when each open round's first input landed —
+				// the start of its aggregate span.
+				firstArrival := map[int]float64{}
 				// lastGlobal is this leader's view of the newest global model
 				// (updated as globals are forwarded down) — the Delta codec's
 				// reference for the partials it forms.
@@ -610,6 +630,11 @@ func Run(cfg Config) (*Result, error) {
 						return true
 					}
 					ins.recordAudit(l, aggScratch)
+					if rt != nil {
+						kept, filtered := auditVerdict(aggScratch, len(vecs))
+						rt.aggregate(l, ci, r, parentLevel, parentCi, kept, filtered, firstArrival[r], cfg.PartialBRA.Name())
+						delete(firstArrival, r)
+					}
 					// One codec hop per formed partial; the upward send and a
 					// flag release ship the same decoded bytes.
 					transcode(agg, lastGlobal, cs)
@@ -688,6 +713,9 @@ func Run(cfg Config) (*Result, error) {
 						if closed[env.round] || plan.LeaderFailed(l, ci, env.round) {
 							continue
 						}
+						if rt != nil && len(collected[env.round]) == 0 {
+							firstArrival[env.round] = rt.now()
+						}
 						collected[env.round] = append(collected[env.round], env.params)
 						arm(env.round)
 						if len(collected[env.round]) < need {
@@ -747,7 +775,9 @@ func Run(cfg Config) (*Result, error) {
 		need := quorumOf(tree.Top().Size())
 		aggScratch := aggregate.NewScratch(cfg.Workers)
 		ins.attachAudit(aggScratch)
+		rt.attachAudit(aggScratch)
 		cs := codec.NewScratch()
+		firstArrival := map[int]float64{}
 		var lastGlobal tensor.Vector
 		deadline := map[int]time.Time{}
 		attempts := map[int]int{}
@@ -781,6 +811,8 @@ func Run(cfg Config) (*Result, error) {
 			arm(r + 1)
 			var global tensor.Vector
 			var err error
+			kept, filtered := len(vecs), 0
+			rule := ""
 			if cfg.TopVoting != nil {
 				cctx := &consensus.Context{
 					Members:   len(vecs),
@@ -791,16 +823,24 @@ func Run(cfg Config) (*Result, error) {
 				global, st, err = cfg.TopVoting.Agree(cctx, vecs)
 				if err == nil {
 					ins.consensusStats(len(vecs), st)
+					rule = cfg.TopVoting.Name()
+					kept, filtered = len(vecs)-len(st.Excluded), len(st.Excluded)
 				}
 			} else {
 				global = tensor.NewVector(len(vecs[0]))
 				err = cfg.TopBRA.AggregateInto(global, aggScratch, vecs)
 				if err == nil {
 					ins.recordAudit(0, aggScratch)
+					rule = cfg.TopBRA.Name()
+					kept, filtered = auditVerdict(aggScratch, len(vecs))
 				}
 			}
 			if err != nil {
 				return
+			}
+			if rt != nil {
+				rt.global(r, kept, filtered, firstArrival[r], rule)
+				delete(firstArrival, r)
 			}
 			// Dissemination codec hop against the previous global; everyone
 			// below — and the evaluation — sees the decoded model.
@@ -861,6 +901,9 @@ func Run(cfg Config) (*Result, error) {
 			}
 			if env.kind != kPartial || closedRounds[env.round] {
 				continue
+			}
+			if rt != nil && len(collected[env.round]) == 0 {
+				firstArrival[env.round] = rt.now()
 			}
 			collected[env.round] = append(collected[env.round], env.params)
 			arm(env.round)

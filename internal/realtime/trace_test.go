@@ -1,0 +1,52 @@
+package realtime
+
+import (
+	"strings"
+	"testing"
+
+	"abdhfl/internal/trace"
+)
+
+// TestRealtimeSpansRecorded checks the wall-clock tracer on the
+// goroutine-per-node engine: every structural span kind shows up, intervals
+// are sane, and concurrent recording from hundreds of goroutines is
+// race-free (this test runs under -race via make verify-trace). Realtime
+// span timing is wall time, so the stream is deliberately NOT golden-tested.
+func TestRealtimeSpansRecorded(t *testing.T) {
+	cfg := buildConfig(t, 3, 2, 2, 8, 1, 0)
+	tr := trace.NewTracer(8, 0)
+	cfg.Trace = tr
+	res := runWithTimeout(t, cfg)
+	if res.FinalAccuracy <= 0 {
+		t.Fatal("run produced no accuracy")
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("traced realtime run recorded no spans")
+	}
+	counts := map[string]int{}
+	for _, s := range spans {
+		counts[s.Name]++
+		if s.End < s.Start {
+			t.Fatalf("span %s ends before it starts: %+v", s.Name, s)
+		}
+		if s.ID == 0 {
+			t.Fatalf("span %s has the reserved zero ID", s.Name)
+		}
+	}
+	for _, name := range []string{"train", "msg", "aggregate", "global", "round"} {
+		if counts[name] == 0 {
+			t.Fatalf("no %q spans recorded (have %v)", name, counts)
+		}
+	}
+	if counts["global"] != counts["round"] {
+		t.Fatalf("%d global spans vs %d round spans", counts["global"], counts["round"])
+	}
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"name":"global"`) {
+		t.Fatal("JSONL export missing global spans")
+	}
+}

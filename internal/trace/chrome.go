@@ -1,0 +1,130 @@
+// Chrome trace-event exporter. The output is the JSON object form of the
+// Trace Event Format ({"traceEvents": [...]}) using complete ("ph":"X")
+// events, which Perfetto and chrome://tracing both load directly. Spans are
+// written in the deterministic total order, so the export is byte-identical
+// across worker and shard counts.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one complete-duration entry of the Trace Event Format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTid maps a span onto a stable Perfetto track: protocol control
+// spans on low tracks, per-level aggregation on its own track, message hops
+// together, and one track per device for training so stragglers read
+// directly off the timeline.
+func chromeTid(s *Span) int {
+	switch s.Name {
+	case "round":
+		return 0
+	case "phase-train", "phase-aggregate", "phase-eval":
+		return 1
+	case "global":
+		return 2
+	case "aggregate":
+		if s.Level >= 0 {
+			return 3 + s.Level
+		}
+		return 3
+	case "msg":
+		return 50
+	case "train":
+		if s.Device >= 0 {
+			return 100 + s.Device
+		}
+		return 100
+	default:
+		return 60
+	}
+}
+
+// WriteChromeTrace emits the merged spans as Chrome trace-event JSON.
+// Nil-safe (writes an empty but valid trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, t.Spans())
+}
+
+// WriteChromeTrace writes spans (already in a deterministic order) as a
+// Perfetto-loadable {"traceEvents": [...]} document. Timestamps convert
+// from engine milliseconds to trace microseconds.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i := range spans {
+		s := &spans[i]
+		if i > 0 {
+			if err := bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		args := map[string]any{
+			"id":     s.ID,
+			"parent": s.Parent,
+			"round":  s.Round,
+		}
+		if s.Level >= 0 {
+			args["level"] = s.Level
+		}
+		if s.Cluster >= 0 {
+			args["cluster"] = s.Cluster
+		}
+		if s.Device >= 0 {
+			args["device"] = s.Device
+		}
+		if s.From >= 0 {
+			args["from"] = s.From
+		}
+		if s.To >= 0 {
+			args["to"] = s.To
+		}
+		if s.Rule != "" {
+			args["rule"] = s.Rule
+		}
+		if s.Bytes != 0 {
+			args["bytes"] = s.Bytes
+		}
+		if s.Kept != 0 || s.Filtered != 0 {
+			args["kept"] = s.Kept
+			args["filtered"] = s.Filtered
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start * 1000,
+			Dur:  (s.End - s.Start) * 1000,
+			Pid:  0,
+			Tid:  chromeTid(s),
+			Args: args,
+		}
+		// json.Marshal sorts map keys, so args serialise deterministically.
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
