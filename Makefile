@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify verify-scale verify-codec verify-trace bench clean
+.PHONY: build test race vet verify verify-scale verify-codec verify-trace verify-transport bench clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # verify is the tier-1 gate: everything must pass before a commit.
-verify: vet build race verify-codec verify-trace
+verify: vet build race verify-codec verify-trace verify-transport
 
 # verify-scale gates the million-device layer: shard-count and rerun
 # invariance of the sharded event engine, lazy≡eager state equality, cohort
@@ -48,6 +48,17 @@ verify-trace:
 	$(GO) test -race -run 'Span|Trace|Chrome|CriticalPath|Flight|Shard' \
 		./internal/trace ./internal/core ./internal/pipeline ./internal/realtime \
 		./internal/experiments ./internal/chaostest
+
+# verify-transport gates the real-wire layer: a build, the frame fuzz
+# corpus replayed as regular tests, the frame/stall/dupe/hostile-input
+# suites and the distributed≡core plus loopback≡TCP conformance goldens
+# under -race, then the multi-process abdhfl-node cluster smoke (1 root,
+# 2 leaders, 4 devices over real sockets with a fault plan active).
+verify-transport:
+	$(GO) build -o /dev/null ./cmd/abdhfl-node
+	$(GO) test -race -run 'Frame|Stall|Dupe|Concurrent|Hostility|Lifecycle|Restart|Fuzz' ./internal/transport
+	$(GO) test -race -run 'Conformance|MatchesCore' ./internal/node
+	$(GO) test -run ClusterSmoke ./cmd/abdhfl-node
 
 # bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
 bench:

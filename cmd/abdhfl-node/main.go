@@ -1,0 +1,193 @@
+// Command abdhfl-node hosts one ABD-HFL protocol role — a device, a
+// cluster leader, or the root — as an OS process speaking the frame
+// protocol over TCP, so a shell-spawned cluster of processes runs the
+// same learning run the in-process engines run, over real sockets:
+//
+//	abdhfl-node -scenario scenario.json -cluster cluster.json -id 0
+//	abdhfl-node -scenario scenario.json -cluster cluster.json -id 6 \
+//	    -plan faults.json -result result.json
+//
+// Every process is handed the same scenario JSON (see abdhfl.Scenario)
+// and the same cluster file, a JSON object mapping node id to listen
+// address:
+//
+//	{"0": "127.0.0.1:7400", "1": "127.0.0.1:7401", ..., "6": "127.0.0.1:7406"}
+//
+// Ids 0..NumDevices-1 are tree devices; id NumDevices is the root. All
+// materials (data shards, tree, rules) are derived deterministically from
+// the scenario, so no further coordination is needed — outbound
+// connections dial lazily with retry, making process start order
+// irrelevant. The root process writes the run result (curve, final
+// model, σ-accounting, filter audit) as JSON when -result is given; any
+// process writes its wire stats to -stats. A fault plan JSON
+// (internal/fault.Plan) applies transport faults to the quorum-protected
+// upward path and availability faults to devices, identically in every
+// process.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"abdhfl"
+	"abdhfl/internal/fault"
+	"abdhfl/internal/node"
+	"abdhfl/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "abdhfl-node: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenarioPath := flag.String("scenario", "", "scenario JSON file (required)")
+	clusterPath := flag.String("cluster", "", "cluster JSON file: node id -> listen address (required)")
+	id := flag.Int("id", -1, "this node's id: 0..devices-1, or devices for the root (required)")
+	listen := flag.String("listen", "", "listen address override (default: this id's cluster entry)")
+	planPath := flag.String("plan", "", "fault plan JSON file (optional)")
+	seed := flag.Uint64("seed", 0, "run seed override (default: scenario seed)")
+	stall := flag.Duration("stall", 5*time.Second, "base per-hop collect deadline")
+	globalWait := flag.Duration("global-wait", 0, "max wait for the disseminated global model (default: (depth+2)*stall)")
+	resultPath := flag.String("result", "", "write the engine result JSON here (the learning run on the root)")
+	statsPath := flag.String("stats", "", "write this node's wire stats JSON here")
+	quiet := flag.Bool("q", false, "suppress progress logging")
+	flag.Parse()
+
+	if *scenarioPath == "" || *clusterPath == "" || *id < 0 {
+		flag.Usage()
+		return fmt.Errorf("-scenario, -cluster and -id are required")
+	}
+
+	s, err := abdhfl.LoadScenario(*scenarioPath)
+	if err != nil {
+		return err
+	}
+	s = s.WithDefaults()
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	m, err := abdhfl.Build(s)
+	if err != nil {
+		return err
+	}
+
+	book, listenAddr, err := loadCluster(*clusterPath, *id)
+	if err != nil {
+		return err
+	}
+	if *listen != "" {
+		listenAddr = *listen
+	}
+	if listenAddr == "" {
+		return fmt.Errorf("cluster file has no entry for id %d and no -listen given", *id)
+	}
+
+	var plan *fault.Plan
+	if *planPath != "" {
+		plan = &fault.Plan{}
+		raw, err := os.ReadFile(*planPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, plan); err != nil {
+			return fmt.Errorf("fault plan %s: %w", *planPath, err)
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "abdhfl-node[%d]: %s\n", *id, fmt.Sprintf(format, args...))
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	ep, err := transport.ListenTCP(transport.Config{
+		Self:       transport.NodeID(*id),
+		Plan:       plan,
+		FaultKinds: node.FaultableKinds(),
+		Registry:   m.Telemetry,
+		Tracer:     m.Trace,
+	}, listenAddr, book)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+
+	eng, err := node.New(node.Config{
+		Materials:  m,
+		Seed:       s.Seed,
+		ID:         transport.NodeID(*id),
+		Endpoint:   ep,
+		Plan:       plan,
+		StallAfter: *stall,
+		GlobalWait: *globalWait,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return err
+	}
+
+	// Keep serving relay/shutdown traffic briefly: a node done with its
+	// rounds may still owe delivery to a slower sibling's subtree, and the
+	// endpoint Close drains outbound queues bounded by its linger.
+	if *resultPath != "" {
+		if err := writeJSON(*resultPath, res); err != nil {
+			return err
+		}
+	}
+	if *statsPath != "" {
+		if err := writeJSON(*statsPath, ep.Stats()); err != nil {
+			return err
+		}
+	}
+	if logf != nil {
+		logf("done: %d rounds, %d stalls, final accuracy %.4f", s.Rounds, res.Stalls, res.FinalAccuracy)
+	}
+	return nil
+}
+
+// loadCluster parses the id→address book and returns it in transport form
+// plus this node's own listen address.
+func loadCluster(path string, self int) (map[transport.NodeID]string, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var entries map[string]string
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, "", fmt.Errorf("cluster file %s: %w", path, err)
+	}
+	book := make(map[transport.NodeID]string, len(entries))
+	listen := ""
+	for key, addr := range entries {
+		id, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, "", fmt.Errorf("cluster file %s: bad node id %q", path, key)
+		}
+		if id == self {
+			listen = addr
+			continue
+		}
+		book[transport.NodeID(id)] = addr
+	}
+	return book, listen, nil
+}
+
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -213,6 +213,31 @@ func (p *Plan) DropSend(label string) bool {
 	return p.coin("send-"+label, p.Drop)
 }
 
+// FrameFate is the transport-layer analogue of Fate for real wire frames:
+// the drop/duplicate/reorder verdict for one frame, keyed by a label built
+// from the frame's protocol coordinates (kind:from>to@round). Like every
+// other plan decision it is a pure function of (seed, label) — the draw
+// order matches Fate's (drop, then duplicate, then reorder) from a
+// dedicated "frame-"+label stream — so the same plan injects the same
+// fault pattern over loopback, over TCP, and across process boundaries.
+// delayMS is the extra delay in wall milliseconds (0 when not reordered).
+func (p *Plan) FrameFate(label string) (drop, dup bool, delayMS float64) {
+	if p == nil || (p.Drop <= 0 && p.Duplicate <= 0 && p.Reorder <= 0) {
+		return false, false, 0
+	}
+	r := rng.New(p.Seed).Derive("frame-" + label)
+	if p.Drop > 0 && r.Float64() < p.Drop {
+		return true, false, 0
+	}
+	if p.Duplicate > 0 && r.Float64() < p.Duplicate {
+		dup = true
+	}
+	if p.Reorder > 0 && p.ReorderDelay > 0 && r.Float64() < p.Reorder {
+		delayMS = p.ReorderDelay * r.Float64()
+	}
+	return false, dup, delayMS
+}
+
 // LeaderFailed reports whether the leader of cluster (level, cluster) is
 // down for the given round.
 func (p *Plan) LeaderFailed(level, cluster, round int) bool {

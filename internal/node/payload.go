@@ -1,0 +1,100 @@
+package node
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"abdhfl/internal/codec"
+	"abdhfl/internal/tensor"
+)
+
+// Model payload encoding. With a codec configured, a model crossing the
+// wire is exactly one codec hop: the sender EncodeInto's the vector (Delta
+// reference = the round-start global model both ends hold from
+// dissemination) and the receiver DecodeInto's the same bytes against the
+// same reference — the distributed realization of core.RunHFL's per-hop
+// Transcode, which is what keeps the two engines byte-identical. Without a
+// codec, payloads are raw little-endian float64s (lossless).
+
+// encodeModel returns v's wire payload against the current global as the
+// codec reference.
+func (e *Engine) encodeModel(v tensor.Vector) ([]byte, error) {
+	if e.cdc != nil {
+		e.cs.Ref = e.global
+		buf := make([]byte, e.cdc.WireBytes(len(v)))
+		n, err := e.cdc.EncodeInto(buf, v, e.cs)
+		if err != nil {
+			return nil, err
+		}
+		return buf[:n], nil
+	}
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf, nil
+}
+
+// decodeModel reconstructs a wire payload into dst against the current
+// global as the codec reference.
+func (e *Engine) decodeModel(dst tensor.Vector, src []byte) error {
+	if e.cdc != nil {
+		e.cs.Ref = e.global
+		return e.cdc.DecodeInto(dst, src, e.cs)
+	}
+	if len(src) != 8*len(dst) {
+		return fmt.Errorf("node: raw model payload is %d bytes, want %d", len(src), 8*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return nil
+}
+
+// transcodeLocal applies the codec hop to a vector handed over locally
+// (a leader's own update, or a partial whose parent leader is the same
+// process): the value must degrade exactly as if it had crossed the wire.
+func (e *Engine) transcodeLocal(v tensor.Vector) error {
+	if e.cdc == nil {
+		return nil
+	}
+	e.cs.Ref = e.global
+	_, err := codec.Transcode(e.cdc, v, e.cs)
+	return err
+}
+
+// Partial message wire format: [u32 LE model length][model payload][JSON
+// audit list]. The audit list accumulates every WireAudit produced in the
+// sender's subtree this round, so the root can reassemble the run-wide
+// filter audit without a separate reporting channel.
+
+// encodePartial frames a partial model payload with its subtree audits.
+func encodePartial(model []byte, audits []WireAudit) ([]byte, error) {
+	tail, err := json.Marshal(audits)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 4+len(model)+len(tail))
+	binary.LittleEndian.PutUint32(out, uint32(len(model)))
+	copy(out[4:], model)
+	copy(out[4+len(model):], tail)
+	return out, nil
+}
+
+// decodePartial splits a partial message into its model payload and
+// audits. The model bytes alias raw.
+func decodePartial(raw []byte) (model []byte, audits []WireAudit, err error) {
+	if len(raw) < 4 {
+		return nil, nil, fmt.Errorf("node: partial message truncated (%d bytes)", len(raw))
+	}
+	n := int(binary.LittleEndian.Uint32(raw))
+	if n < 0 || 4+n > len(raw) {
+		return nil, nil, fmt.Errorf("node: partial model length %d exceeds message (%d bytes)", n, len(raw))
+	}
+	if err := json.Unmarshal(raw[4+n:], &audits); err != nil {
+		return nil, nil, fmt.Errorf("node: partial audit list: %w", err)
+	}
+	return raw[4 : 4+n], audits, nil
+}

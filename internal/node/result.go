@@ -1,0 +1,62 @@
+package node
+
+import (
+	"sort"
+
+	"abdhfl/internal/core"
+)
+
+// WireAudit is one aggregation step's filter verdict plus its step-local
+// communication cost, in the JSON form partial messages carry up the tree.
+// It mirrors telemetry.FilterDecision (ids have the same meaning: device
+// ids at the bottom, child-cluster leader ids above) with the CommStats
+// the root needs for σ-accounting piggybacked on.
+type WireAudit struct {
+	Level     int    `json:"level"`
+	Cluster   int    `json:"cluster"`
+	Round     int    `json:"round"`
+	Rule      string `json:"rule"`
+	Kept      []int  `json:"kept,omitempty"`
+	Clipped   []int  `json:"clipped,omitempty"`
+	Discarded []int  `json:"discarded,omitempty"`
+	// Transfers/Scalars are the step's CommStats contribution.
+	Transfers int `json:"transfers"`
+	Scalars   int `json:"scalars"`
+	// Excluded counts CBA-excluded proposals (top step only).
+	Excluded int `json:"excluded,omitempty"`
+}
+
+// sortAudits orders one round's audits exactly as RunHFL emits them:
+// bottom level first, ascending cluster index within a level, the top
+// (level 0) step last.
+func sortAudits(audits []WireAudit) {
+	sort.SliceStable(audits, func(i, j int) bool {
+		if audits[i].Level != audits[j].Level {
+			return audits[i].Level > audits[j].Level
+		}
+		return audits[i].Cluster < audits[j].Cluster
+	})
+}
+
+// Result is what a node engine reports after its rounds complete. Every
+// node fills FinalParams (its copy of the final global model — identical
+// across nodes, which the conformance tests assert) and Stalls; the
+// learning-run fields (Curve, Comm, audit, σ-accounting) are the root's,
+// mirroring core.Result field for field so the two engines' outputs
+// compare directly.
+type Result struct {
+	FinalAccuracy float64          `json:"final_accuracy"`
+	FinalParams   []float64        `json:"final_params,omitempty"`
+	Curve         []core.RoundStat `json:"curve,omitempty"`
+	Comm          core.CommStats   `json:"comm"`
+	// ExcludedByConsensus counts CBA-excluded top-level proposals.
+	ExcludedByConsensus int `json:"excluded_by_consensus"`
+	// TrainerActivations counts device training runs across all rounds
+	// (the root's tally of the deterministic availability draws).
+	TrainerActivations int `json:"trainer_activations"`
+	// Audit is the run-wide filter audit in RunHFL emission order,
+	// reassembled by the root from the piggybacked subtree audits.
+	Audit []WireAudit `json:"audit,omitempty"`
+	// Stalls counts expected contributors this node timed out on.
+	Stalls int `json:"stalls"`
+}

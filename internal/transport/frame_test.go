@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+func sampleFrames() []Frame {
+	return []Frame{
+		{Kind: 1, From: 0, To: 3, Round: 0, Seq: 1, Sent: 1700000000000000000, Payload: []byte("update")},
+		{Kind: 2, From: 3, To: 6, Round: 7, Seq: 42, Sent: -1, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
+		{Kind: 3, From: 6, To: 0, Round: math.MaxUint32, Seq: math.MaxUint64, Sent: math.MaxInt64},
+		{Kind: 0, From: -1, To: -1}, // negative ids survive the uint32 wire trip
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for i, want := range sampleFrames() {
+		raw := EncodeFrame(&want)
+		if len(raw) != EncodedSize(len(want.Payload)) {
+			t.Fatalf("frame %d: encoded %d bytes, EncodedSize says %d", i, len(raw), EncodedSize(len(want.Payload)))
+		}
+		var got Frame
+		if err := DecodeFrame(raw, &got, 0); err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.From != want.From || got.To != want.To ||
+			got.Round != want.Round || got.Seq != want.Seq || got.Sent != want.Sent ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: round trip mismatch:\nwant %+v\ngot  %+v", i, want, got)
+		}
+
+		// The stream reader must agree with the buffer decoder.
+		var rd Frame
+		if err := ReadFrame(bytes.NewReader(raw), &rd, 0); err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if rd.Seq != want.Seq || !bytes.Equal(rd.Payload, want.Payload) {
+			t.Fatalf("frame %d: ReadFrame mismatch: %+v", i, rd)
+		}
+	}
+}
+
+// corruptFrame returns a valid encoding with one byte range rewritten.
+func corruptFrame(mutate func(raw []byte)) []byte {
+	f := Frame{Kind: 1, From: 2, To: 3, Round: 4, Seq: 5, Sent: 6, Payload: []byte("payload")}
+	raw := EncodeFrame(&f)
+	mutate(raw)
+	return raw
+}
+
+func TestDecodeFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		max  int
+		want error
+	}{
+		{name: "empty", raw: nil, want: ErrCorruptFrame},
+		{name: "short", raw: make([]byte, headerSize-1), want: ErrCorruptFrame},
+		{name: "garbage", raw: bytes.Repeat([]byte{0x5A}, 64), want: ErrCorruptFrame},
+		{name: "over-limit", raw: make([]byte, 129), max: 128, want: ErrFrameTooLarge},
+		{name: "bad-magic", raw: corruptFrame(func(raw []byte) { raw[4] = 0 }), want: ErrCorruptFrame},
+		{name: "bad-version", raw: corruptFrame(func(raw []byte) { raw[6] = 9 }), want: ErrCorruptFrame},
+		{name: "length-prefix-lies", raw: corruptFrame(func(raw []byte) {
+			binary.BigEndian.PutUint32(raw[0:4], uint32(len(raw))) // off by the prefix itself
+		}), want: ErrCorruptFrame},
+		{name: "plen-lies", raw: corruptFrame(func(raw []byte) {
+			binary.BigEndian.PutUint32(raw[36:40], 3)
+		}), want: ErrCorruptFrame},
+		{name: "trailing-bytes", raw: append(corruptFrame(func([]byte) {}), 0xFF), want: ErrCorruptFrame},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var f Frame
+			if err := DecodeFrame(tc.raw, &f, tc.max); !errors.Is(err, tc.want) {
+				t.Fatalf("DecodeFrame = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	valid := EncodeFrame(&Frame{Kind: 1, Payload: []byte("ok")})
+	t.Run("clean-eof", func(t *testing.T) {
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(nil), &f, 0); !errors.Is(err, io.EOF) {
+			t.Fatalf("ReadFrame on empty stream = %v, want io.EOF", err)
+		}
+	})
+	t.Run("cut-mid-prefix", func(t *testing.T) {
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(valid[:2]), &f, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("ReadFrame = %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("cut-mid-body", func(t *testing.T) {
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(valid[:len(valid)-1]), &f, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("ReadFrame = %v, want io.ErrUnexpectedEOF", err)
+		}
+	})
+	t.Run("hostile-length-claim", func(t *testing.T) {
+		// A 4-byte prefix claiming a huge body must be rejected from the
+		// claim alone — before any allocation and before reading further.
+		raw := make([]byte, 4)
+		binary.BigEndian.PutUint32(raw, math.MaxUint32)
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(raw), &f, 0); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("ReadFrame = %v, want ErrFrameTooLarge", err)
+		}
+	})
+	t.Run("undersized-length-claim", func(t *testing.T) {
+		raw := make([]byte, 4)
+		binary.BigEndian.PutUint32(raw, headerBody-1)
+		var f Frame
+		if err := ReadFrame(bytes.NewReader(raw), &f, 0); !errors.Is(err, ErrCorruptFrame) {
+			t.Fatalf("ReadFrame = %v, want ErrCorruptFrame", err)
+		}
+	})
+	t.Run("stream-of-frames", func(t *testing.T) {
+		var stream []byte
+		for i := 0; i < 3; i++ {
+			stream = AppendFrame(stream, &Frame{Kind: 1, Seq: uint64(i + 1), Payload: []byte{byte(i)}})
+		}
+		r := bytes.NewReader(stream)
+		for i := 0; i < 3; i++ {
+			var f Frame
+			if err := ReadFrame(r, &f, 0); err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if f.Seq != uint64(i+1) {
+				t.Fatalf("frame %d: seq %d", i, f.Seq)
+			}
+		}
+		var f Frame
+		if err := ReadFrame(r, &f, 0); !errors.Is(err, io.EOF) {
+			t.Fatalf("after stream: %v, want io.EOF", err)
+		}
+	})
+}
+
+// fuzzSeeds are the committed corpus: valid frames, every truncation class,
+// hostile length claims, and plain garbage. TestRegenFuzzCorpus writes them
+// to testdata so `go test -fuzz` starts from real wire shapes.
+func fuzzSeeds() [][]byte {
+	seeds := [][]byte{
+		{}, {0x00}, {0xAB, 0xD1},
+		bytes.Repeat([]byte{0xFF}, headerSize),
+		bytes.Repeat([]byte{0x42}, 256),
+	}
+	for _, f := range sampleFrames() {
+		f := f
+		raw := EncodeFrame(&f)
+		seeds = append(seeds, raw, raw[:len(raw)/2], raw[:headerSize-1])
+	}
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, math.MaxUint32)
+	seeds = append(seeds, huge, append(huge, bytes.Repeat([]byte{0xAA}, 32)...))
+	return seeds
+}
+
+// FuzzFrameDecode pins the decoder contract on arbitrary bytes: errors,
+// never panics, never allocates past the size limit, and anything that
+// decodes re-encodes to the same bytes.
+func FuzzFrameDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := DecodeFrame(data, &fr, limit); err == nil {
+			if len(fr.Payload) > limit {
+				t.Fatalf("payload %d bytes escaped the %d limit", len(fr.Payload), limit)
+			}
+			if back := EncodeFrame(&fr); !bytes.Equal(back, data) {
+				t.Fatalf("re-encode mismatch:\nin:  %x\nout: %x", data, back)
+			}
+		}
+		// The stream reader must survive the same bytes, and agree with the
+		// buffer decoder whenever a whole well-formed frame leads the stream.
+		var sr Frame
+		if err := ReadFrame(bytes.NewReader(data), &sr, limit); err == nil {
+			if len(sr.Payload) > limit {
+				t.Fatalf("ReadFrame payload %d bytes escaped the %d limit", len(sr.Payload), limit)
+			}
+			if whole := EncodedSize(len(sr.Payload)); whole == len(data) {
+				var again Frame
+				if err := DecodeFrame(data, &again, limit); err != nil {
+					t.Fatalf("ReadFrame accepted what DecodeFrame rejects: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// TestRegenFuzzCorpus rewrites the committed seed corpus when
+// ABDHFL_REGEN=1 (mirroring the codec golden regen idiom); otherwise it
+// verifies every committed entry still parses as a corpus file.
+func TestRegenFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzFrameDecode")
+	if os.Getenv("ABDHFL_REGEN") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range fuzzSeeds() {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(seed)))
+			name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("regenerated %d corpus entries in %s", len(fuzzSeeds()), dir)
+		return
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed fuzz corpus missing (run with ABDHFL_REGEN=1): %v", err)
+	}
+	if len(entries) < len(fuzzSeeds()) {
+		t.Fatalf("corpus has %d entries, seeds define %d (run with ABDHFL_REGEN=1)", len(entries), len(fuzzSeeds()))
+	}
+	for _, e := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(raw, []byte("go test fuzz v1\n")) {
+			t.Errorf("%s: not a go fuzz corpus file", e.Name())
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// StallDetector watches peers a protocol actor is waiting on and reports
+// the ones that blow their response deadline — the liveness primitive that
+// lets a leader stop waiting for a crashed device and aggregate with the
+// quorum it has (the engine analogue of dusk's p2p stall detector).
+//
+// Usage: Arm(peer) when a response becomes expected, Heard(peer) when any
+// traffic from the peer arrives, and Stalled(now) periodically. A peer
+// reported stalled is automatically re-armed with an exponentially backed
+// off deadline (base × backoff^strikes, capped at max), so a genuinely dead
+// peer is reported at a decaying rate instead of every tick; Heard resets
+// its strikes. All methods take explicit times, so the timeout/backoff
+// edges are table-testable without wall-clock sleeps.
+type StallDetector struct {
+	mu      sync.Mutex
+	base    time.Duration
+	max     time.Duration
+	backoff float64
+	peers   map[NodeID]*stallState
+	total   int64
+}
+
+type stallState struct {
+	armed    bool
+	deadline time.Time
+	strikes  int
+}
+
+// NewStallDetector returns a detector with the given base deadline, backoff
+// multiplier (values < 1 are treated as 1 — constant deadline), and cap
+// (<= 0 means no cap).
+func NewStallDetector(base time.Duration, backoff float64, max time.Duration) *StallDetector {
+	if backoff < 1 {
+		backoff = 1
+	}
+	return &StallDetector{base: base, max: max, backoff: backoff, peers: map[NodeID]*stallState{}}
+}
+
+// delay returns the deadline delay for a peer with the given strike count.
+func (s *StallDetector) delay(strikes int) time.Duration {
+	d := float64(s.base)
+	for i := 0; i < strikes; i++ {
+		d *= s.backoff
+		if s.max > 0 && d >= float64(s.max) {
+			return s.max
+		}
+	}
+	if s.max > 0 && d > float64(s.max) {
+		return s.max
+	}
+	return time.Duration(d)
+}
+
+// Arm starts (or keeps) a response expectation for peer. An already-armed
+// peer keeps its current deadline; a fresh arm gets now + the peer's
+// backed-off delay.
+func (s *StallDetector) Arm(peer NodeID, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.peers[peer]
+	if st == nil {
+		st = &stallState{}
+		s.peers[peer] = st
+	}
+	if !st.armed {
+		st.armed = true
+		st.deadline = now.Add(s.delay(st.strikes))
+	}
+}
+
+// Heard records traffic from peer: the expectation is disarmed and the
+// peer's strikes reset.
+func (s *StallDetector) Heard(peer NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.peers[peer]; st != nil {
+		st.armed = false
+		st.strikes = 0
+	}
+}
+
+// Stalled returns the armed peers whose deadline is at or before now, in
+// ascending id order. Each reported peer collects a strike and is re-armed
+// with its backed-off deadline.
+func (s *StallDetector) Stalled(now time.Time) []NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []NodeID
+	for id, st := range s.peers {
+		if st.armed && !st.deadline.After(now) {
+			st.strikes++
+			st.deadline = now.Add(s.delay(st.strikes))
+			s.total++
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Strikes returns peer's consecutive stall count.
+func (s *StallDetector) Strikes(peer NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.peers[peer]; st != nil {
+		return st.strikes
+	}
+	return 0
+}
+
+// Deadline returns peer's current deadline and whether it is armed.
+func (s *StallDetector) Deadline(peer NodeID) (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.peers[peer]; st != nil && st.armed {
+		return st.deadline, true
+	}
+	return time.Time{}, false
+}
+
+// Total returns the number of stalls ever reported.
+func (s *StallDetector) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Reset forgets every peer (used between protocol rounds).
+func (s *StallDetector) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = map[NodeID]*stallState{}
+}
