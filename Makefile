@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify verify-scale verify-codec verify-trace verify-transport bench clean
+.PHONY: build test race vet verify verify-scale verify-codec verify-trace verify-transport verify-consensus bench clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 # verify is the tier-1 gate: everything must pass before a commit.
-verify: vet build race verify-codec verify-trace verify-transport
+verify: vet build race verify-codec verify-trace verify-transport verify-consensus
 
 # verify-scale gates the million-device layer: shard-count and rerun
 # invariance of the sharded event engine, lazy≡eager state equality, cohort
@@ -59,6 +59,20 @@ verify-transport:
 	$(GO) test -race -run 'Frame|Stall|Dupe|Concurrent|Hostility|Lifecycle|Restart|Fuzz' ./internal/transport
 	$(GO) test -race -run 'Conformance|MatchesCore' ./internal/node
 	$(GO) test -run ClusterSmoke ./cmd/abdhfl-node
+
+# verify-consensus gates the randomized-agreement layer: the
+# adversarial-schedule ABA conformance suite (agreement/validity/termination
+# over 240 seeds and three membership sizes), worker-count and transcript
+# invariance, committee-rotation determinism, the registry round-trip, the
+# chaostest ABA sweeps with the zero-fault ABA≡voting golden, the node
+# ballot-exchange conformance (distributed≡core, loopback≡TCP under
+# drop+dup), all under -race — then the 7-process abdhfl-node smoke with
+# ABA deciding at the root while a drop+duplicate plan hits the ballot
+# frames.
+verify-consensus:
+	$(GO) test -race -run 'ABA|CommitteeForRound|RotatingCommittee|NamesRoundTrip|ConsensusLatency' \
+		./internal/consensus ./internal/chaostest ./internal/node ./internal/experiments
+	$(GO) test -run ClusterSmokeABA ./cmd/abdhfl-node
 
 # bench regenerates the tier-1 benchmark numbers (see BENCH_*.json).
 bench:

@@ -126,8 +126,9 @@ type Scenario struct {
 	// Aggregator is the BRA registry name used at intermediate levels (and
 	// by the vanilla baseline): "multi-krum", "median", ...
 	Aggregator string
-	// TopProtocol is the CBA used at the top: "voting", "committee",
-	// "approx-agreement", or "" for a BRA top.
+	// TopProtocol is the CBA used at the top — any consensus registry name
+	// ("voting", "committee", "rotating-committee", "approx-agreement",
+	// "pbft", "aba"), or "" for a BRA top.
 	TopProtocol string
 	// Scheme (1-4, Table III) overrides the Aggregator/TopProtocol split;
 	// zero keeps the explicit configuration (which matches Scheme 1 with
@@ -497,7 +498,7 @@ func (m *Materials) PipelineConfig(seed uint64, flagLevel int, timing pipeline.T
 		return pipeline.Config{}, err
 	}
 	voting := consensus.Voting{}
-	return pipeline.Config{
+	cfg := pipeline.Config{
 		Tree:             m.Tree,
 		Rounds:           m.Scenario.Rounds,
 		FlagLevel:        flagLevel,
@@ -517,7 +518,16 @@ func (m *Materials) PipelineConfig(seed uint64, flagLevel int, timing pipeline.T
 		OnFilter:         m.OnFilter,
 		Trace:            m.Trace,
 		Codec:            m.Codec,
-	}, nil
+	}
+	// A non-voting top consensus (e.g. the randomized "aba") carries over to
+	// the pipeline's top actor; plain voting keeps the historical TopVoting
+	// wiring so existing runs stay byte-identical.
+	if cba := m.GlobalRule.CBA; cba != nil {
+		if _, isVoting := cba.(consensus.Voting); !isVoting {
+			cfg.TopCBA = cba
+		}
+	}
+	return cfg, nil
 }
 
 // RunPipeline executes the asynchronous pipeline workflow with the given

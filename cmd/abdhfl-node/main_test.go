@@ -24,6 +24,18 @@ import (
 // every process exits cleanly. Skipped under -short (it compiles and runs
 // OS processes).
 func TestClusterSmoke(t *testing.T) {
+	runClusterSmoke(t, "voting")
+}
+
+// TestClusterSmokeABA repeats the 7-process run with the randomized
+// common-coin ABA deciding at the root, so the proposal/ballot exchange
+// (frame kinds 4 and 5) crosses real process and socket boundaries while
+// the drop+duplicate plan is chewing on exactly those kinds.
+func TestClusterSmokeABA(t *testing.T) {
+	runClusterSmoke(t, "aba")
+}
+
+func runClusterSmoke(t *testing.T, topProtocol string) {
 	if testing.Short() {
 		t.Skip("multi-process smoke test skipped in -short mode")
 	}
@@ -41,7 +53,7 @@ func TestClusterSmoke(t *testing.T) {
 		Levels: 2, ClusterSize: 3, TopNodes: 2,
 		Rounds: 3, LocalIters: 1, BatchSize: 8, LearningRate: 0.05,
 		SamplesPerClient: 16, TestSamples: 40, ValidationSamples: 24,
-		Aggregator: "multi-krum", TopProtocol: "voting",
+		Aggregator: "multi-krum", TopProtocol: topProtocol,
 		Codec:     "delta-int8", // codec in the path: WireBytes accounting is live
 		EvalEvery: 1, Seed: 11, Workers: 1,
 	}.WithDefaults()

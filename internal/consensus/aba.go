@@ -1,0 +1,769 @@
+package consensus
+
+import (
+	"errors"
+	"fmt"
+
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// This file implements the common-coin randomized Asynchronous Byzantine
+// Agreement of the ROADMAP's "randomized asynchronous consensus" item, in
+// the Mostéfaoui–Moumen–Raynal signature-free round structure (the ABA main
+// loop of SNIPPETS.md §7):
+//
+//	round r:  BV-broadcast BVAL(r, est); bin_values grows as support passes
+//	          f+1 (echo) and 2f+1 (deliver);
+//	          broadcast AUX(r, v) for the first delivered v;
+//	          wait for n-f AUX whose values all lie in bin_values;
+//	          s ← common coin for round r, and grade the support:
+//	            strength 2: unanimous value v and v == s → est ← v and
+//	                        A-Cast COMPLETE(v);
+//	            strength 1: unanimous value v, v != s  → est ← v;
+//	            strength 0: both values seen           → est ← s.
+//	terminate: upon t+1 = f+1 COMPLETE(v): echo COMPLETE(v), output v, halt.
+//
+// A received COMPLETE(v) counts as its sender's BVAL(r, v) and AUX(r, v)
+// for every round, so members that terminate early keep contributing to the
+// quorums of members still running — the standard liveness amendment.
+//
+// The protocol executes as a message-level simulation over a deterministic
+// seeded scheduler: per-message delays (jitter, adversarial heavy tails,
+// drop-as-retransmission penalties, duplicates) come from one labeled
+// stream consumed in (deliver-at, seq) event order, the Byzantine members'
+// equivocation from another, and the common coin for (instance, round) is
+// derived by label alone — rng.Derive/DeriveN never advance their parent,
+// so every member, every process, and every Workers setting computes the
+// identical coin. That makes an ABA run a pure function of (seed, inputs),
+// byte-identical across reruns, worker counts, and transports, while still
+// exercising genuinely adversarial asynchronous schedules.
+
+// Schedule shapes the seeded delivery model of the ABA simulation. The zero
+// value delivers everything instantly; DefaultSchedule gives a mildly
+// asynchronous network. Dropped messages become bounded retransmission
+// penalties — asynchrony, not loss, matching the model ABA assumes.
+type Schedule struct {
+	// BaseMS is the minimum link latency in virtual milliseconds.
+	BaseMS float64
+	// JitterMS adds a uniform [0, JitterMS) component per message.
+	JitterMS float64
+	// HeavyProb is the per-message probability of an adversarial delay of
+	// uniform [0, HeavyMS) extra milliseconds.
+	HeavyProb float64
+	// HeavyMS bounds the adversarial delay.
+	HeavyMS float64
+	// DropProb is the per-message probability of a first-transmission loss;
+	// the retransmission lands after an extra [ResendMS, 2*ResendMS) delay.
+	DropProb float64
+	// ResendMS is the retransmission penalty base.
+	ResendMS float64
+	// DupProb is the per-message probability of a duplicate delivery
+	// (receivers deduplicate, as the transport layer's DupeMap does).
+	DupProb float64
+}
+
+// DefaultSchedule is the mildly asynchronous network ABA.Agree uses when no
+// schedule is configured.
+func DefaultSchedule() Schedule {
+	return Schedule{BaseMS: 5, JitterMS: 2, HeavyProb: 0.05, HeavyMS: 20, DropProb: 0.02, ResendMS: 40, DupProb: 0.02}
+}
+
+// ABA is the common-coin randomized Asynchronous Byzantine Agreement CBA:
+// members exchange validation-voting ballots (the same kernel Voting uses),
+// then run one binary ABA instance per proposal on the tallied input bits.
+// With zero faults every member holds the identical ballot set, so ABA's
+// validity property forces the decision to equal Voting's — the equivalence
+// the chaostest sweeps pin — while under crash/omission/churn the round
+// structure keeps deciding where a fixed-quorum protocol would stall.
+type ABA struct {
+	// Margin is the ballot score slack, as in Voting; zero selects 0.1.
+	Margin float64
+	// KeepFraction is the ballot tally threshold, as in Voting; zero
+	// selects 0.5.
+	KeepFraction float64
+	// MaxRounds bounds the coin rounds per binary instance; zero selects 64.
+	// Termination is probabilistic (expected two coin rounds), so hitting
+	// the bound is a deterministic, reproducible error, not a flake.
+	MaxRounds int
+	// Schedule overrides the delivery model; nil selects DefaultSchedule.
+	Schedule *Schedule
+	// Trace, when set, receives one line per protocol event (bin_values
+	// deliveries, COMPLETE casts, round advances, decisions) — the
+	// transcript the worker-invariance tests compare byte-for-byte.
+	Trace func(event string)
+}
+
+// Name implements Protocol.
+func (ABA) Name() string { return "aba" }
+
+// Agree implements Protocol.
+func (a ABA) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector, Stats, error) {
+	if err := ctx.check(proposals); err != nil {
+		return nil, Stats{}, err
+	}
+	n := ctx.Members
+	f := (n - 1) / 3
+	v := Voting{Margin: a.Margin, KeepFraction: a.KeepFraction}
+
+	// --- Ballot phase: each member's up/down votes over the proposals.
+	// Externally collected rows (the node engine ships them over the wire)
+	// are used as-is; missing rows mark crashed members within the fault
+	// budget f, and anything beyond the budget is recomputed locally so the
+	// instances still satisfy their quorums deterministically.
+	byzCount := 0
+	for i := 0; i < n; i++ {
+		if ctx.isByz(i) {
+			byzCount++
+		}
+	}
+	ballots := make([][]bool, n)
+	silent := map[int]bool{}
+	if ctx.Ballots != nil {
+		for i := 0; i < n && i < len(ctx.Ballots.Rows); i++ {
+			if row := ctx.Ballots.Rows[i]; len(row) == n {
+				ballots[i] = row
+			}
+		}
+		budget := f - byzCount
+		for i := 0; i < n; i++ {
+			if ballots[i] == nil && !ctx.isByz(i) && budget > 0 {
+				silent[i] = true
+				budget--
+			}
+		}
+	}
+	needCompute := false
+	for i := range ballots {
+		if ballots[i] == nil && !silent[i] {
+			needCompute = true
+		}
+	}
+	if needCompute && ctx.Validator == nil {
+		return nil, Stats{}, errors.New("consensus: aba requires a validator")
+	}
+	forEachMember(ctx.workers(), n, func(i int) {
+		if ballots[i] == nil && !silent[i] {
+			ballots[i] = v.votes(ctx, i, proposals)
+		}
+	})
+
+	// --- Input bits: tally the ballot set every active member holds and
+	// apply Voting's keep rule. Active members therefore start every binary
+	// instance unanimously, and ABA validity pins the decision to the tally
+	// — the genuinely divergent-input regime is RunBinaryABA's province.
+	counts := make([]int, n)
+	for _, b := range ballots {
+		for j, up := range b {
+			if up {
+				counts[j]++
+			}
+		}
+	}
+	keptIdx, _ := v.decide(counts, n)
+	inputBit := make([]int, n)
+	for _, j := range keptIdx {
+		inputBit[j] = 1
+	}
+
+	// --- One binary ABA instance per proposal. The instances are
+	// independent and would run concurrently on a real wire, so latency is
+	// the max over instances while messages accumulate.
+	sched := DefaultSchedule()
+	if a.Schedule != nil {
+		sched = *a.Schedule
+	}
+	maxRounds := a.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	byzSet := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if ctx.isByz(i) {
+			byzSet[i] = true
+		}
+	}
+	coinRNG := ctx.Rand.Derive("common-coin")
+	inputs := make([]int, n)
+	st := Stats{Votes: counts}
+	var kept []tensor.Vector
+	for j := 0; j < n; j++ {
+		for i := range inputs {
+			inputs[i] = inputBit[j]
+		}
+		inst := ctx.Rand.DeriveN("aba-instance", uint64(j))
+		var tr func(string)
+		if a.Trace != nil {
+			jj := j
+			tr = func(ev string) { a.Trace(fmt.Sprintf("p%d %s", jj, ev)) }
+		}
+		out, err := runABAInstance(inst.Derive("schedule"), inst.Derive("adversary"),
+			coinRNG, uint64(j), inputs, byzSet, silent, sched, maxRounds, tr)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("consensus: aba proposal %d: %w", j, err)
+		}
+		decision := -1
+		for _, d := range out.Decisions {
+			if d < 0 {
+				continue
+			}
+			if decision < 0 {
+				decision = d
+			} else if d != decision {
+				return nil, Stats{}, fmt.Errorf("consensus: aba proposal %d: honest members disagree (safety violation)", j)
+			}
+		}
+		if decision < 0 {
+			return nil, Stats{}, fmt.Errorf("consensus: aba proposal %d: no honest member decided", j)
+		}
+		if out.Rounds > st.CoinRounds {
+			st.CoinRounds = out.Rounds
+		}
+		if out.VirtualMS > st.VirtualMS {
+			st.VirtualMS = out.VirtualMS
+		}
+		st.Messages += out.Messages
+		if decision == 1 {
+			kept = append(kept, proposals[j])
+		} else {
+			st.Excluded = append(st.Excluded, j)
+		}
+	}
+	if len(kept) == 0 {
+		// Unreachable with unanimous inputs (validity keeps at least the
+		// tally's fallback proposal), but mirror Voting's best-count
+		// fallback so the protocol can never return an empty average.
+		best := 0
+		for j := range counts {
+			if counts[j] > counts[best] {
+				best = j
+			}
+		}
+		kept = append(kept, proposals[best])
+		st.Excluded = st.Excluded[:0]
+		for j := 0; j < n; j++ {
+			if j != best {
+				st.Excluded = append(st.Excluded, j)
+			}
+		}
+	}
+	// Proposal broadcast + ballot exchange, then the coin rounds.
+	st.Rounds = 2 + st.CoinRounds
+	st.ModelTransfers = n * (n - 1)
+	st.Messages += 2 * n * (n - 1)
+	out := tensor.Mean(tensor.NewVector(len(proposals[0])), kept)
+	return out, st, nil
+}
+
+// BinaryOutcome reports one binary ABA instance.
+type BinaryOutcome struct {
+	// Decisions[i] is member i's decided bit; -1 for Byzantine or silent
+	// members (honest members always decide when the error is nil).
+	Decisions []int
+	// Rounds is the highest coin round any honest member decided in.
+	Rounds int
+	// Messages counts every point-to-point message put on the simulated
+	// wire, duplicates included.
+	Messages int
+	// VirtualMS is the virtual time at which the last honest member decided.
+	VirtualMS float64
+}
+
+// RunBinaryABA executes one binary ABA instance with explicit per-member
+// input bits under the given delivery schedule — the entry point of the
+// adversarial-schedule conformance suite. byzantine members equivocate
+// (driven by a seeded adversary stream); silent members never send. The run
+// is a pure function of (r, inputs, byzantine, silent, sched, maxRounds).
+func RunBinaryABA(r *rng.RNG, inputs []int, byzantine, silent map[int]bool, sched *Schedule, maxRounds int, trace func(string)) (BinaryOutcome, error) {
+	if r == nil {
+		r = rng.New(0)
+	}
+	cfg := DefaultSchedule()
+	if sched != nil {
+		cfg = *sched
+	}
+	if maxRounds <= 0 {
+		maxRounds = 64
+	}
+	return runABAInstance(r.Derive("aba-schedule"), r.Derive("aba-adversary"),
+		r.Derive("common-coin"), 0, inputs, byzantine, silent, cfg, maxRounds, trace)
+}
+
+// Message kinds of the binary instance.
+const (
+	abaBval = 1 + iota
+	abaAux
+	abaComplete
+)
+
+type abaMsg struct {
+	kind  int
+	round int
+	val   int
+	from  int
+}
+
+type abaEvent struct {
+	at  float64
+	seq uint64
+	to  int
+	msg abaMsg
+}
+
+// abaRoundState is one member's per-round BV-broadcast and AUX state.
+type abaRoundState struct {
+	sentBval [2]bool
+	bval     [2]map[int]bool // BVAL(v) senders seen
+	bin      [2]bool         // bin_values
+	binOrder []int           // delivery order into bin_values
+	auxSent  bool
+	aux      map[int]int // first AUX value per sender
+}
+
+type abaNode struct {
+	id           int
+	byz          bool
+	silent       bool
+	est          int
+	round        int
+	rounds       map[int]*abaRoundState
+	completeSent [2]bool
+	completers   [2]map[int]bool // COMPLETE(v) senders seen (self included)
+	decided      bool
+	decision     int
+	decRound     int
+	terminated   bool
+	burst        map[int]int // Byzantine emission budget per round
+}
+
+func (nd *abaNode) roundState(r int) *abaRoundState {
+	rs, ok := nd.rounds[r]
+	if !ok {
+		rs = &abaRoundState{
+			bval: [2]map[int]bool{{}, {}},
+			aux:  map[int]int{},
+		}
+		nd.rounds[r] = rs
+	}
+	return rs
+}
+
+// abaSim runs one binary instance over a deterministic event queue: events
+// are totally ordered by (deliver-at, seq), latency draws come from one
+// sequential stream consumed in that order, and the common coin is derived
+// by label — so the whole run replays bit-for-bit.
+type abaSim struct {
+	n, f      int
+	maxRounds int
+	cfg       Schedule
+	nodes     []*abaNode
+	q         []abaEvent
+	seq       uint64
+	now       float64
+	sched     *rng.RNG
+	adv       *rng.RNG
+	coinRNG   *rng.RNG
+	coinBase  uint64
+	trace     func(string)
+	messages  int
+	undecided int
+	lastMS    float64
+	err       error
+}
+
+func runABAInstance(sched, adv, coinRNG *rng.RNG, coinBase uint64, inputs []int, byzantine, silent map[int]bool, cfg Schedule, maxRounds int, trace func(string)) (BinaryOutcome, error) {
+	n := len(inputs)
+	if n == 0 {
+		return BinaryOutcome{}, errors.New("consensus: aba with no members")
+	}
+	f := (n - 1) / 3
+	faulty := 0
+	for i := 0; i < n; i++ {
+		if byzantine[i] || silent[i] {
+			faulty++
+		}
+	}
+	if faulty > f {
+		return BinaryOutcome{}, fmt.Errorf("consensus: aba with %d faulty members exceeds f=%d (n=%d)", faulty, f, n)
+	}
+	s := &abaSim{
+		n: n, f: f, maxRounds: maxRounds, cfg: cfg,
+		sched: sched, adv: adv, coinRNG: coinRNG, coinBase: coinBase,
+		trace: trace,
+	}
+	s.nodes = make([]*abaNode, n)
+	for i := 0; i < n; i++ {
+		s.nodes[i] = &abaNode{
+			id: i, byz: byzantine[i], silent: silent[i] && !byzantine[i],
+			est:        inputs[i] & 1,
+			round:      1,
+			rounds:     map[int]*abaRoundState{},
+			completers: [2]map[int]bool{{}, {}},
+		}
+		if s.nodes[i].byz {
+			s.nodes[i].burst = map[int]int{}
+		} else if !s.nodes[i].silent {
+			s.undecided++
+		}
+	}
+	// Round 1 openers: honest members BV-broadcast their input; Byzantine
+	// members open with per-recipient equivocating BVALs.
+	for _, nd := range s.nodes {
+		switch {
+		case nd.silent:
+		case nd.byz:
+			for to := 0; to < n; to++ {
+				if to != nd.id {
+					s.sendTo(nd.id, to, abaMsg{abaBval, 1, int(s.adv.Uint64() & 1), nd.id})
+				}
+			}
+		default:
+			rs := nd.roundState(1)
+			rs.sentBval[nd.est] = true
+			s.broadcast(nd.id, abaMsg{abaBval, 1, nd.est, nd.id})
+		}
+	}
+	s.run()
+	if s.err != nil {
+		return BinaryOutcome{}, s.err
+	}
+	out := BinaryOutcome{
+		Decisions: make([]int, n),
+		Messages:  s.messages,
+		VirtualMS: s.lastMS,
+	}
+	for i, nd := range s.nodes {
+		if nd.decided {
+			out.Decisions[i] = nd.decision
+			if nd.decRound > out.Rounds {
+				out.Rounds = nd.decRound
+			}
+		} else {
+			out.Decisions[i] = -1
+		}
+	}
+	return out, nil
+}
+
+func (s *abaSim) tracef(format string, args ...any) {
+	if s.trace != nil {
+		s.trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// coin is the deterministic seeded common coin for round r of this
+// instance: a pure label derivation, so every member — on any process —
+// reads the same flip without exchanging a single message.
+func (s *abaSim) coin(r int) int {
+	return int(s.coinRNG.DeriveN("flip", s.coinBase<<16|uint64(r)).Uint64() & 1)
+}
+
+func (s *abaSim) push(at float64, to int, m abaMsg) {
+	s.q = append(s.q, abaEvent{at: at, seq: s.seq, to: to, msg: m})
+	s.seq++
+	i := len(s.q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !evLess(s.q[i], s.q[p]) {
+			break
+		}
+		s.q[i], s.q[p] = s.q[p], s.q[i]
+		i = p
+	}
+}
+
+func (s *abaSim) pop() abaEvent {
+	top := s.q[0]
+	last := len(s.q) - 1
+	s.q[0] = s.q[last]
+	s.q = s.q[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.q) && evLess(s.q[l], s.q[small]) {
+			small = l
+		}
+		if r < len(s.q) && evLess(s.q[r], s.q[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.q[i], s.q[small] = s.q[small], s.q[i]
+		i = small
+	}
+	return top
+}
+
+func evLess(a, b abaEvent) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// Latency draws one message's delivery delay from the schedule: base plus
+// uniform jitter, an occasional heavy tail, and drop-as-resend (a dropped
+// message is re-sent after the resend timer, so loss manifests as delay —
+// the asynchronous model never loses messages forever). Consumes a
+// deterministic number of draws per branch from r, so a fixed stream
+// yields a fixed delay sequence.
+func (c Schedule) Latency(r *rng.RNG) float64 {
+	l := c.BaseMS
+	if c.JitterMS > 0 {
+		l += c.JitterMS * r.Float64()
+	}
+	if c.HeavyProb > 0 && r.Float64() < c.HeavyProb {
+		l += c.HeavyMS * r.Float64()
+	}
+	if c.DropProb > 0 && r.Float64() < c.DropProb {
+		l += c.ResendMS * (1 + r.Float64())
+	}
+	return l
+}
+
+// latency draws one message's delivery delay from the schedule stream.
+func (s *abaSim) latency() float64 {
+	return s.cfg.Latency(s.sched)
+}
+
+func (s *abaSim) sendTo(from, to int, m abaMsg) {
+	l := s.latency()
+	s.push(s.now+l, to, m)
+	s.messages++
+	if s.cfg.DupProb > 0 && s.sched.Float64() < s.cfg.DupProb {
+		s.push(s.now+l+s.cfg.BaseMS*s.sched.Float64(), to, m)
+		s.messages++
+	}
+}
+
+// broadcast ships m to every member; the self-copy is delivered through the
+// queue at zero latency so handlers never re-enter.
+func (s *abaSim) broadcast(from int, m abaMsg) {
+	for to := 0; to < s.n; to++ {
+		if to == from {
+			s.push(s.now, to, m)
+			continue
+		}
+		s.sendTo(from, to, m)
+	}
+}
+
+func (s *abaSim) run() {
+	const eventCap = 1 << 21
+	processed := 0
+	for len(s.q) > 0 && s.err == nil && s.undecided > 0 {
+		ev := s.pop()
+		s.now = ev.at
+		s.deliver(ev.to, ev.msg)
+		if processed++; processed > eventCap {
+			s.err = errors.New("consensus: aba event cap exceeded (liveness failure)")
+		}
+	}
+	if s.err == nil && s.undecided > 0 {
+		s.err = errors.New("consensus: aba stalled before every honest member decided")
+	}
+}
+
+func (s *abaSim) deliver(to int, m abaMsg) {
+	nd := s.nodes[to]
+	if nd.silent || nd.terminated {
+		return
+	}
+	if nd.byz {
+		s.byzReact(nd, m)
+		return
+	}
+	switch m.kind {
+	case abaBval:
+		rs := nd.roundState(m.round)
+		if rs.bval[m.val][m.from] {
+			return
+		}
+		rs.bval[m.val][m.from] = true
+		s.roundEcho(nd, m.round)
+	case abaAux:
+		rs := nd.roundState(m.round)
+		if _, ok := rs.aux[m.from]; ok {
+			return
+		}
+		rs.aux[m.from] = m.val
+	case abaComplete:
+		if nd.completers[m.val][m.from] {
+			return
+		}
+		nd.completers[m.val][m.from] = true
+	}
+	s.progress(nd)
+}
+
+// support counts the distinct BVAL(r, v) senders nd has seen, with COMPLETE
+// senders standing in for BVALs of every round.
+func (s *abaSim) support(nd *abaNode, rs *abaRoundState, v int) int {
+	c := len(rs.bval[v])
+	for p := range nd.completers[v] {
+		if !rs.bval[v][p] {
+			c++
+		}
+	}
+	return c
+}
+
+// roundEcho applies the BV-broadcast echo and delivery rules for round r —
+// independently of nd's current round, as BV-broadcast requires.
+func (s *abaSim) roundEcho(nd *abaNode, r int) {
+	rs := nd.roundState(r)
+	for v := 0; v < 2; v++ {
+		c := s.support(nd, rs, v)
+		if c >= s.f+1 && !rs.sentBval[v] {
+			rs.sentBval[v] = true
+			s.broadcast(nd.id, abaMsg{abaBval, r, v, nd.id})
+		}
+		if c >= 2*s.f+1 && !rs.bin[v] {
+			rs.bin[v] = true
+			rs.binOrder = append(rs.binOrder, v)
+			s.tracef("n%d r%d bin+%d", nd.id, r, v)
+		}
+	}
+}
+
+// progress drives nd through every protocol step its current state allows:
+// termination check, echoes, AUX, and the coin-graded round advance.
+func (s *abaSim) progress(nd *abaNode) {
+	for !nd.terminated {
+		// Termination: f+1 COMPLETE(v) → echo the COMPLETE, output v, halt.
+		for v := 0; v < 2; v++ {
+			if len(nd.completers[v]) >= s.f+1 {
+				if !nd.completeSent[v] {
+					s.sendComplete(nd, v)
+				}
+				s.decide(nd, v)
+				return
+			}
+		}
+		r := nd.round
+		rs := nd.roundState(r)
+		s.roundEcho(nd, r) // COMPLETEs may have unlocked current-round echoes
+		if !rs.auxSent && len(rs.binOrder) > 0 {
+			rs.auxSent = true
+			s.broadcast(nd.id, abaMsg{abaAux, r, rs.binOrder[0], nd.id})
+		}
+		if !rs.auxSent {
+			return
+		}
+		// Gather n-f AUX whose values lie in bin_values; COMPLETE senders
+		// stand in for AUX of every round. Each sender counts once.
+		count := 0
+		var seen [2]bool
+		for p := 0; p < s.n; p++ {
+			if v, ok := rs.aux[p]; ok {
+				if rs.bin[v] {
+					count++
+					seen[v] = true
+				}
+				continue
+			}
+			if rs.bin[0] && nd.completers[0][p] {
+				count++
+				seen[0] = true
+				continue
+			}
+			if rs.bin[1] && nd.completers[1][p] {
+				count++
+				seen[1] = true
+			}
+		}
+		if count < s.n-s.f {
+			return
+		}
+		coin := s.coin(r)
+		// Vote strength (SNIPPETS.md §7): 2 = unanimous support matching
+		// the coin → A-Cast COMPLETE; 1 = unanimous against the coin →
+		// adopt the value; 0 = mixed support → adopt the coin.
+		if seen[0] != seen[1] {
+			v := 0
+			if seen[1] {
+				v = 1
+			}
+			nd.est = v
+			if v == coin && !nd.completeSent[v] {
+				s.sendComplete(nd, v)
+			}
+		} else {
+			nd.est = coin
+		}
+		nd.round++
+		s.tracef("n%d r%d->%d est%d coin%d", nd.id, r, nd.round, nd.est, coin)
+		if nd.round > s.maxRounds {
+			s.err = fmt.Errorf("consensus: aba exceeded %d coin rounds without termination", s.maxRounds)
+			return
+		}
+		nrs := nd.roundState(nd.round)
+		if !nrs.sentBval[nd.est] {
+			nrs.sentBval[nd.est] = true
+			s.broadcast(nd.id, abaMsg{abaBval, nd.round, nd.est, nd.id})
+		}
+		// Loop: messages that arrived early may already satisfy the new
+		// round (or the termination condition).
+	}
+}
+
+func (s *abaSim) sendComplete(nd *abaNode, v int) {
+	nd.completeSent[v] = true
+	nd.completers[v][nd.id] = true
+	s.broadcast(nd.id, abaMsg{abaComplete, 0, v, nd.id})
+	s.tracef("n%d complete%d", nd.id, v)
+}
+
+func (s *abaSim) decide(nd *abaNode, v int) {
+	nd.decided = true
+	nd.decision = v
+	nd.decRound = nd.round
+	nd.terminated = true
+	s.undecided--
+	if s.now > s.lastMS {
+		s.lastMS = s.now
+	}
+	s.tracef("n%d decide%d r%d", nd.id, v, nd.round)
+}
+
+// byzReact is the Byzantine members' behavior: on (a budgeted fraction of)
+// deliveries they equivocate — per-recipient random BVAL/AUX for the
+// message's round or the next — and occasionally cast a COMPLETE. With at
+// most f Byzantine members their COMPLETEs never reach the f+1 termination
+// threshold on their own, so safety rests where MMR puts it: on the BV and
+// AUX quorum intersections.
+func (s *abaSim) byzReact(nd *abaNode, m abaMsg) {
+	r := m.round
+	if r < 1 {
+		r = 1
+	}
+	if r > s.maxRounds || nd.burst[r] >= 2 {
+		return
+	}
+	if s.adv.Float64() >= 0.3 {
+		return
+	}
+	nd.burst[r]++
+	for to := 0; to < s.n; to++ {
+		if to == nd.id {
+			continue
+		}
+		v := int(s.adv.Uint64() & 1)
+		rr := r
+		if s.adv.Float64() < 0.3 {
+			rr++
+		}
+		kind := abaBval
+		if s.adv.Float64() < 0.5 {
+			kind = abaAux
+		}
+		s.sendTo(nd.id, to, abaMsg{kind, rr, v, nd.id})
+	}
+	if s.adv.Float64() < 0.05 {
+		v := int(s.adv.Uint64() & 1)
+		for to := 0; to < s.n; to++ {
+			if to != nd.id {
+				s.sendTo(nd.id, to, abaMsg{abaComplete, 0, v, nd.id})
+			}
+		}
+	}
+}

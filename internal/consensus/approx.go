@@ -1,7 +1,6 @@
 package consensus
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -155,21 +154,3 @@ func honestSpread(ctx *Context, values []tensor.Vector) float64 {
 	}
 	return spread
 }
-
-// ByName returns a default-configured protocol for the given name.
-func ByName(name string) (Protocol, error) {
-	switch name {
-	case "voting":
-		return Voting{}, nil
-	case "committee":
-		return Committee{}, nil
-	case "approx-agreement":
-		return ApproxAgreement{}, nil
-	case "pbft":
-		return PBFT{}, nil
-	}
-	return nil, errors.New("consensus: unknown protocol " + name)
-}
-
-// Names lists the registered protocol names.
-func Names() []string { return []string{"approx-agreement", "committee", "pbft", "voting"} }

@@ -48,6 +48,25 @@ type Context struct {
 	// for every worker count: per-member work is independent and tallies are
 	// reduced in member order.
 	Workers int
+	// Round is the engine round this instance runs in. Rotation-based
+	// protocols derive their per-round committee (and dealer) from it;
+	// protocols without rotation ignore it.
+	Round int
+	// Ballots optionally injects externally collected ballots — the node
+	// engine gathers them over the wire from remote members. Rows[i] is
+	// member i's up/down votes over the proposals, nil when member i's ballot
+	// never arrived (the member is treated as crashed, within the protocol's
+	// fault budget). Nil Ballots means every ballot is computed locally via
+	// Validator. Protocols that do not exchange ballots ignore it.
+	Ballots *BallotSet
+}
+
+// BallotSet carries per-member up/down ballots collected outside the
+// protocol call (e.g. over real transport frames).
+type BallotSet struct {
+	// Rows[i] is member i's ballot over the proposals; nil marks a member
+	// whose ballot never arrived.
+	Rows [][]bool
 }
 
 // workers returns the effective scoring fan-out bound.
@@ -123,6 +142,12 @@ type Stats struct {
 	// that vote (Voting); nil for score-ranking protocols (Committee). The
 	// engines feed these tallies into the telemetry vote histograms.
 	Votes []int
+	// CoinRounds is the number of common-coin rounds the slowest binary
+	// agreement instance needed (randomized protocols only; zero elsewhere).
+	CoinRounds int
+	// VirtualMS is the agreement latency in virtual milliseconds under the
+	// protocol's internal delivery schedule (randomized protocols only).
+	VirtualMS float64
 }
 
 // Protocol is a consensus-based aggregation rule: members agree on one model
@@ -230,11 +255,20 @@ func (c Committee) Agree(ctx *Context, proposals []tensor.Vector) (tensor.Vector
 		keep = 0.5
 	}
 	committee := ctx.Rand.Choice(n, size)
+	return committeeAgree(ctx, proposals, committee, keep)
+}
+
+// committeeAgree is the scoring kernel shared by Committee and
+// RotatingCommittee: the given committee scores every proposal, the top
+// keep-fraction by total committee score is averaged.
+func committeeAgree(ctx *Context, proposals []tensor.Vector, committee []int, keep float64) (tensor.Vector, Stats, error) {
+	n := ctx.Members
+	size := len(committee)
 	// Fan the committee members' scorings out like Voting.Agree; summing the
 	// per-member rows in committee order afterwards reproduces the serial
 	// accumulation sequence exactly.
-	rows := make([][]float64, len(committee))
-	forEachMember(ctx.workers(), len(committee), func(ci int) {
+	rows := make([][]float64, size)
+	forEachMember(ctx.workers(), size, func(ci int) {
 		member := committee[ci]
 		row := make([]float64, n)
 		for i := range proposals {

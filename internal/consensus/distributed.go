@@ -45,6 +45,15 @@ func (v Voting) votes(ctx *Context, member int, proposals []tensor.Vector) []boo
 	return out
 }
 
+// Ballot computes one member's validation-voting up/down ballot over the
+// proposals — the kernel Voting and ABA members both apply. Exported so a
+// distributed engine can compute a remote member's ballot on that member's
+// own process and ship only the bits; the bits are identical to what the
+// in-process protocols would compute (same validator, same margin rule).
+func Ballot(ctx *Context, member int, margin float64, proposals []tensor.Vector) []bool {
+	return Voting{Margin: margin}.votes(ctx, member, proposals)
+}
+
 // decide tallies the vote counts and returns the kept proposal indices and
 // the excluded ones, mirroring Voting.Agree's rule.
 func (v Voting) decide(counts []int, members int) (kept, excluded []int) {

@@ -1,0 +1,38 @@
+package consensus
+
+import "errors"
+
+// registry is the single source of truth for protocol lookup: ByName and
+// Names both walk it, so the two can never drift apart (TestNamesRoundTrip
+// pins the invariant). Entries are kept in lexicographic name order —
+// Names() returns them as-is.
+var registry = []struct {
+	name string
+	make func() Protocol
+}{
+	{"aba", func() Protocol { return ABA{} }},
+	{"approx-agreement", func() Protocol { return ApproxAgreement{} }},
+	{"committee", func() Protocol { return Committee{} }},
+	{"pbft", func() Protocol { return PBFT{} }},
+	{"rotating-committee", func() Protocol { return RotatingCommittee{} }},
+	{"voting", func() Protocol { return Voting{} }},
+}
+
+// ByName returns a default-configured protocol for the given name.
+func ByName(name string) (Protocol, error) {
+	for _, e := range registry {
+		if e.name == name {
+			return e.make(), nil
+		}
+	}
+	return nil, errors.New("consensus: unknown protocol " + name)
+}
+
+// Names lists the registered protocol names in lexicographic order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
+}

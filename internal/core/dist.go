@@ -13,6 +13,7 @@ package core
 
 import (
 	"abdhfl/internal/aggregate"
+	"abdhfl/internal/consensus"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
 	"abdhfl/internal/telemetry"
@@ -145,9 +146,49 @@ func (w *WireAggregator) AggregateCluster(roundRNG *rng.RNG, c *topology.Cluster
 // indexed by level-1 cluster (nil for clusters that contributed nothing);
 // dst is the BRA destination buffer.
 func (w *WireAggregator) AggregateTop(roundRNG *rng.RNG, partials []tensor.Vector, dst tensor.Vector, round int) (tensor.Vector, WireVerdict, error) {
-	agg, comm, excluded, err := aggregateTop(*w.cfg, w.cfg.Tree, roundRNG, partials, w.pool, dst, w.scratch, w.fe, round)
+	return w.AggregateTopBallots(roundRNG, partials, dst, round, nil)
+}
+
+// AggregateTopBallots is AggregateTop with wire-collected member ballots
+// injected into the top consensus (the ABA ballot exchange): ballots.Rows
+// is indexed by consensus member — the contributing level-1 leaders in
+// cluster order — with nil rows for leaders whose ballot never arrived.
+// With every row present the result is bit-identical to AggregateTop,
+// because each remote ballot is the same bits the root would compute
+// locally (ShardBallot); missing rows consume the protocol's fault budget.
+func (w *WireAggregator) AggregateTopBallots(roundRNG *rng.RNG, partials []tensor.Vector, dst tensor.Vector, round int, ballots *consensus.BallotSet) (tensor.Vector, WireVerdict, error) {
+	agg, comm, excluded, err := aggregateTop(*w.cfg, w.cfg.Tree, roundRNG, partials, w.pool, dst, w.scratch, w.fe, round, ballots)
 	if err != nil {
 		return nil, WireVerdict{}, err
 	}
 	return agg, w.takeVerdict(comm, excluded), nil
+}
+
+// GlobalNeedsBallots reports whether the configured global rule consumes
+// externally collected ballots — i.e. whether the node engine should run
+// the proposal/ballot wire exchange before AggregateTopBallots.
+func GlobalNeedsBallots(cfg Config) bool {
+	if !cfg.Global.IsCBA() {
+		return false
+	}
+	_, ok := cfg.Global.CBA.(consensus.ABA)
+	return ok
+}
+
+// ShardBallot computes one top-level member's validation-voting ballot over
+// the proposals with the engine's shard validator and the global CBA's
+// margin — the bits a remote leader ships back during the ABA ballot
+// exchange. A leader process calling this for its own member index produces
+// exactly the bits the root (or RunHFL) would compute centrally, which is
+// what keeps the distributed run byte-identical to the core engine.
+func (w *WireAggregator) ShardBallot(member int, proposals []tensor.Vector) []bool {
+	ctx := &consensus.Context{
+		Members:   len(proposals),
+		Validator: shardValidator(*w.cfg, w.pool),
+	}
+	margin := 0.0
+	if aba, ok := w.cfg.Global.CBA.(consensus.ABA); ok {
+		margin = aba.Margin
+	}
+	return consensus.Ballot(ctx, member, margin, proposals)
 }

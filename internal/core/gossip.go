@@ -8,6 +8,7 @@ import (
 
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/codec"
+	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -30,6 +31,13 @@ type GossipConfig struct {
 	Local      nn.TrainConfig
 	Hidden     []int
 	Aggregator aggregate.Aggregator
+	// NeighborhoodCBA, when set, replaces the aggregation rule inside each
+	// device's neighbourhood with a consensus protocol: the group's devices
+	// are the members, each scoring every pulled model on its own shard, and
+	// the protocol's decision becomes the device's next model. This is the
+	// flat-topology analogue of the hierarchical engine's per-cluster CBA —
+	// consensus still only ever sees the tiny fanout-sized neighbourhood.
+	NeighborhoodCBA consensus.Protocol
 
 	ClientData []*dataset.Dataset
 	TestData   *dataset.Dataset
@@ -77,7 +85,7 @@ func (c *GossipConfig) Validate() error {
 	if c.TestData == nil || c.TestData.Len() == 0 {
 		return errors.New("core: gossip TestData is empty")
 	}
-	if c.Aggregator == nil {
+	if c.Aggregator == nil && c.NeighborhoodCBA == nil {
 		return errors.New("core: gossip Aggregator is nil")
 	}
 	return nil
@@ -135,6 +143,10 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 	}
 	trained := make([]tensor.Vector, devices)
 	hcfg := Config{ClientData: cfg.ClientData, Local: cfg.Local, Byzantine: cfg.Byzantine}
+	var evalPool *nn.EvalPool
+	if cfg.NeighborhoodCBA != nil {
+		evalPool = nn.NewEvalPool(sizes...)
+	}
 
 	res := &Result{}
 	evalModel := nn.NewShaped(sizes...)
@@ -212,15 +224,39 @@ func RunGossip(cfg GossipConfig) (*Result, error) {
 			if next[id] == nil {
 				next[id] = tensor.NewVector(dim)
 			}
-			if err := cfg.Aggregator.AggregateInto(next[id], aggScratch, group); err != nil {
-				return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
+			if cfg.NeighborhoodCBA != nil {
+				// Neighbourhood consensus: the group's devices are the
+				// members, each scoring every pulled model on its own shard.
+				cctx := &consensus.Context{
+					Members:   len(group),
+					Validator: localValidator(hcfg, groupIDs, evalPool),
+					Rand:      roundRNG.Derive(fmt.Sprintf("cba-%d", id)),
+					Workers:   workers,
+					Round:     round,
+				}
+				out, st, err := cfg.NeighborhoodCBA.Agree(cctx, group)
+				if err != nil {
+					return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
+				}
+				copy(next[id], out)
+				fe.emitConsensus(0, id, round, groupIDs, cfg.NeighborhoodCBA.Name(), st)
+				if ct != nil {
+					kept, filtered := fe.verdictCounts()
+					ct.gossipAggregate(round, id, cfg.NeighborhoodCBA.Name(), kept, filtered)
+				}
+				res.Comm.ModelTransfers += st.ModelTransfers + len(group) - 1
+				res.Comm.ScalarMessages += st.Messages - st.ModelTransfers
+			} else {
+				if err := cfg.Aggregator.AggregateInto(next[id], aggScratch, group); err != nil {
+					return nil, fmt.Errorf("core: gossip round %d device %d: %w", round, id, err)
+				}
+				fe.emitAudit(0, id, round, groupIDs)
+				if ct != nil {
+					kept, filtered := fe.verdictCounts()
+					ct.gossipAggregate(round, id, cfg.Aggregator.Name(), kept, filtered)
+				}
+				res.Comm.ModelTransfers += len(group) - 1
 			}
-			fe.emitAudit(0, id, round, groupIDs)
-			if ct != nil {
-				kept, filtered := fe.verdictCounts()
-				ct.gossipAggregate(round, id, cfg.Aggregator.Name(), kept, filtered)
-			}
-			res.Comm.ModelTransfers += len(group) - 1
 		}
 		params = next
 		if cfg.Codec != nil {

@@ -224,7 +224,7 @@ func RunHFL(cfg Config) (*Result, error) {
 		if globalBufs[round%2] == nil {
 			globalBufs[round%2] = tensor.NewVector(dim)
 		}
-		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool, globalBufs[round%2], aggScratch, fe, round)
+		newGlobal, comm, excluded, err := aggregateTop(cfg, tree, roundRNG, partials, pool, globalBufs[round%2], aggScratch, fe, round, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d top level: %w", round, err)
 		}
@@ -564,6 +564,7 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 		Validator: localValidator(cfg, ids, pool),
 		Rand:      roundRNG.Derive(fmt.Sprintf("cba-%d-%d", c.Level, c.Index)),
 		Workers:   cfg.Workers,
+		Round:     round,
 	}
 	agg, st, err := rule.CBA.Agree(ctx, vecs)
 	if err != nil {
@@ -578,8 +579,11 @@ func aggregateCluster(cfg Config, roundRNG *rng.RNG, c *topology.Cluster, vecs [
 // aggregateTop forms the global model (Algorithm 6). BRA writes into the
 // caller-owned dst buffer (double-buffered by the round loop so the previous
 // global model stays intact while the new one forms); CBA protocols return
-// their own fresh vector.
-func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch, fe *filterEmitter, round int) (tensor.Vector, CommStats, int, error) {
+// their own fresh vector. ballots, when non-nil, injects wire-collected
+// member ballots into the consensus context (the node engine's ABA
+// exchange); the single-process engine always passes nil and computes them
+// locally.
+func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials []tensor.Vector, pool *nn.EvalPool, dst tensor.Vector, scratch *aggregate.Scratch, fe *filterEmitter, round int, ballots *consensus.BallotSet) (tensor.Vector, CommStats, int, error) {
 	var comm CommStats
 	vecs := make([]tensor.Vector, 0, len(partials))
 	var ids []int
@@ -616,6 +620,8 @@ func aggregateTop(cfg Config, tree *topology.Tree, roundRNG *rng.RNG, partials [
 		Validator: shardValidator(cfg, pool),
 		Rand:      roundRNG.Derive("cba-top"),
 		Workers:   cfg.Workers,
+		Round:     round,
+		Ballots:   ballots,
 	}
 	agg, st, err := cfg.Global.CBA.Agree(ctx, vecs)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"abdhfl/internal/aggregate"
 	"abdhfl/internal/attack"
 	"abdhfl/internal/codec"
+	"abdhfl/internal/consensus"
 	"abdhfl/internal/dataset"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -26,6 +27,13 @@ type VanillaConfig struct {
 	Local      nn.TrainConfig
 	Hidden     []int
 	Aggregator aggregate.Aggregator
+	// TopCBA, when set, replaces the server's aggregation rule with a
+	// consensus protocol over the submitted updates (any registered
+	// protocol, e.g. "voting" or the randomized "aba"): contributing
+	// clients score every update on their own data and the protocol's
+	// decision becomes the round's global model — the star-topology
+	// counterpart of the hierarchical engine's CBA levels.
+	TopCBA consensus.Protocol
 
 	ClientData []*dataset.Dataset
 	TestData   *dataset.Dataset
@@ -66,7 +74,7 @@ func (c *VanillaConfig) Validate() error {
 	if c.TestData == nil || c.TestData.Len() == 0 {
 		return errors.New("core: vanilla TestData is empty")
 	}
-	if c.Aggregator == nil {
+	if c.Aggregator == nil && c.TopCBA == nil {
 		return errors.New("core: vanilla Aggregator is nil")
 	}
 	return nil
@@ -102,6 +110,10 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 		evalEvery = 1
 	}
 	hcfg := Config{ClientData: cfg.ClientData, Local: cfg.Local, Byzantine: cfg.Byzantine, ModelAttack: cfg.ModelAttack}
+	var evalPool *nn.EvalPool
+	if cfg.TopCBA != nil {
+		evalPool = nn.NewEvalPool(sizes...)
+	}
 
 	res := &Result{}
 	updates := make([]tensor.Vector, clients)
@@ -176,20 +188,54 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			}
 			inputs = vecs
 		}
-		if err := cfg.Aggregator.AggregateInto(agg, aggScratch, inputs); err != nil {
-			return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
-		}
-		// Without cohort sampling there is no churn in the star baseline, so
-		// update positions are client ids and ids stays nil.
-		fe.emitAudit(0, 0, round, ids)
-		if ct != nil {
-			kept, filtered := fe.verdictCounts()
-			ct.global(round, cfg.Aggregator.Name(), kept, filtered)
+		var roundComm CommStats
+		if cfg.TopCBA != nil {
+			// Consensus at the server: contributing clients are the members,
+			// each scoring every update on its own shard.
+			if ids == nil {
+				ids = make([]int, len(inputs))
+				for i := range ids {
+					ids[i] = i
+				}
+			}
+			ctx := &consensus.Context{
+				Members:   len(inputs),
+				Byzantine: protocolByzantine(hcfg, ids),
+				Validator: localValidator(hcfg, ids, evalPool),
+				Rand:      roundRNG.Derive("cba-top"),
+				Workers:   workers,
+				Round:     round,
+			}
+			out, st, err := cfg.TopCBA.Agree(ctx, inputs)
+			if err != nil {
+				return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
+			}
+			copy(agg, out)
+			fe.emitConsensus(0, 0, round, ids, cfg.TopCBA.Name(), st)
+			if ct != nil {
+				kept, filtered := fe.verdictCounts()
+				ct.global(round, cfg.TopCBA.Name(), kept, filtered)
+			}
+			roundComm.ModelTransfers = st.ModelTransfers + len(inputs)
+			roundComm.ScalarMessages = st.Messages - st.ModelTransfers
+		} else {
+			if err := cfg.Aggregator.AggregateInto(agg, aggScratch, inputs); err != nil {
+				return nil, fmt.Errorf("core: vanilla round %d: %w", round, err)
+			}
+			// Without cohort sampling there is no churn in the star baseline,
+			// so update positions are client ids and ids stays nil.
+			fe.emitAudit(0, 0, round, ids)
+			if ct != nil {
+				kept, filtered := fe.verdictCounts()
+				ct.global(round, cfg.Aggregator.Name(), kept, filtered)
+			}
+			// Star topology: every participant uploads, the server broadcasts
+			// back.
+			roundComm.ModelTransfers = 2 * len(inputs)
 		}
 		// Server→client downlink: the broadcast global crosses one codec hop
 		// (the previous global, still intact in the other buffer, is the
 		// Delta reference every client holds).
-		roundComm := CommStats{ModelTransfers: 2 * len(inputs)}
 		if cfg.Codec != nil {
 			codecScratch.Ref = globalParams
 			if _, err := codec.Transcode(cfg.Codec, agg, codecScratch); err != nil {
@@ -198,7 +244,6 @@ func RunVanilla(cfg VanillaConfig) (*Result, error) {
 			roundComm.WireBytes = int64(roundComm.ModelTransfers) * int64(cfg.Codec.WireBytes(len(agg)))
 		}
 		globalParams = agg
-		// Star topology: every participant uploads, the server broadcasts back.
 		res.Comm.Add(roundComm)
 		if ins.enabled() {
 			ins.observePhase(phaseAggregate, time.Since(tPhase))

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abdhfl/internal/consensus"
+	"abdhfl/internal/metrics"
+	"abdhfl/internal/rng"
+	"abdhfl/internal/tensor"
+)
+
+// ConsensusLatencyOptions parameterises the agreement-latency matrix: the
+// randomized common-coin ABA against validation-voting on identical
+// synthetic workloads, swept across the chaos fault matrix's intensity
+// ladder. Each cell runs Instances independent consensus instances — a
+// proposal set with a poisoned fraction, a distance-scoring validator, and
+// a fault-rate-scaled delivery schedule with rate-scaled crashed (silent)
+// members — and reports termination rounds, virtual agreement latency,
+// message counts, and whether the two protocols kept the same proposals.
+// Everything derives from Seed: the same options produce the same table,
+// byte for byte, for every Workers setting.
+type ConsensusLatencyOptions struct {
+	Members   int     // consensus members per instance; 0 -> 7
+	Dim       int     // proposal vector dimension; 0 -> 32
+	Instances int     // instances per (rate, protocol) cell; 0 -> 24
+	Seed      uint64  // 0 -> 1
+	Workers   int     // validator fan-out; results are identical for every value
+	Malicious float64 // poisoned proposal fraction; 0 -> 0.25, negative -> 0
+	// FaultRates are the plan intensities, mirroring ChaosOptions; nil
+	// selects {0, 0.1, 0.2, 0.3}.
+	FaultRates []float64
+}
+
+func (o *ConsensusLatencyOptions) defaults() {
+	if o.Members == 0 {
+		o.Members = 7
+	}
+	if o.Dim == 0 {
+		o.Dim = 32
+	}
+	if o.Instances == 0 {
+		o.Instances = 24
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Malicious == 0 {
+		o.Malicious = 0.25
+	}
+	if o.Malicious < 0 {
+		o.Malicious = 0
+	}
+	if o.FaultRates == nil {
+		o.FaultRates = []float64{0, 0.1, 0.2, 0.3}
+	}
+}
+
+// ConsensusLatencyResult is one (fault rate, protocol) cell.
+type ConsensusLatencyResult struct {
+	FaultRate float64
+	Protocol  string
+	// Silent is the crashed (never-voting) member count injected per
+	// instance, clamped to the protocols' fault budget f = (n-1)/3.
+	Silent int
+	// MeanRounds and MaxRounds are protocol rounds to termination: voting
+	// always takes its two synchronous rounds; ABA takes 2 + coin rounds.
+	MeanRounds, MaxRounds float64
+	// MeanMS and MaxMS are virtual agreement latencies under the cell's
+	// delivery schedule.
+	MeanMS, MaxMS float64
+	// MeanMessages is the per-instance point-to-point message count.
+	MeanMessages float64
+	// MeanExcluded is the mean number of proposals the decision rejected.
+	MeanExcluded float64
+	// Matches counts instances whose kept-proposal set equals
+	// validation-voting's on the same inputs (for the voting rows this is
+	// trivially Instances).
+	Matches int
+}
+
+// latencySchedule scales the delivery model with the fault intensity: more
+// loss (manifesting as resend delay), more duplication, and a fatter heavy
+// tail — the transport share of ChaosPlan's taxonomy in schedule form.
+func latencySchedule(rate float64) consensus.Schedule {
+	s := consensus.DefaultSchedule()
+	s.DropProb += rate / 2
+	s.DupProb += rate / 4
+	s.HeavyProb += rate / 2
+	return s
+}
+
+// votingLatency models validation-voting's two synchronous all-to-all
+// rounds under the same delivery schedule ABA runs on: each round ends when
+// the slowest of the n(n-1) messages lands, and crashed members force the
+// round to its stall deadline (four resend timers — the timeout a
+// fixed-quorum collect pays before excluding a silent peer).
+func votingLatency(r *rng.RNG, sched consensus.Schedule, n, silent int) float64 {
+	total := 0.0
+	for round := 0; round < 2; round++ {
+		slowest := 0.0
+		for m := 0; m < n*(n-1); m++ {
+			if l := sched.Latency(r); l > slowest {
+				slowest = l
+			}
+		}
+		if silent > 0 {
+			if stall := 4 * sched.ResendMS; stall > slowest {
+				slowest = stall
+			}
+		}
+		total += slowest
+	}
+	return total
+}
+
+// RunConsensusLatency measures both protocols at every fault rate on the
+// same per-instance workloads.
+func RunConsensusLatency(o ConsensusLatencyOptions) ([]ConsensusLatencyResult, error) {
+	o.defaults()
+	n := o.Members
+	f := (n - 1) / 3
+	root := rng.New(o.Seed)
+
+	// Fixed per-instance workloads, shared by every cell: a target model,
+	// a poisoned subset, proposals, and per-member validator references.
+	type workload struct {
+		proposals []tensor.Vector
+		refs      []tensor.Vector
+	}
+	poisoned := int(o.Malicious*float64(n) + 0.5)
+	work := make([]workload, o.Instances)
+	for k := range work {
+		inst := root.DeriveN("instance", uint64(k))
+		target := randVec(inst.Derive("target"), o.Dim, 1.0)
+		bad := map[int]bool{}
+		for _, j := range inst.Derive("poison").Choice(n, poisoned) {
+			bad[j] = true
+		}
+		w := workload{proposals: make([]tensor.Vector, n), refs: make([]tensor.Vector, n)}
+		for j := 0; j < n; j++ {
+			p := target.Clone()
+			noise := randVec(inst.DeriveN("prop", uint64(j)), o.Dim, 0.05)
+			for i := range p {
+				p[i] += noise[i]
+				if bad[j] {
+					p[i] += 2
+				}
+			}
+			w.proposals[j] = p
+		}
+		for m := 0; m < n; m++ {
+			ref := target.Clone()
+			noise := randVec(inst.DeriveN("ref", uint64(m)), o.Dim, 0.02)
+			for i := range ref {
+				ref[i] += noise[i]
+			}
+			w.refs[m] = ref
+		}
+		work[k] = w
+	}
+	validator := func(w workload) consensus.Validator {
+		return func(member int, model tensor.Vector) float64 {
+			d := 0.0
+			for i, x := range model {
+				diff := x - w.refs[member][i]
+				d += diff * diff
+			}
+			return -d
+		}
+	}
+
+	var out []ConsensusLatencyResult
+	for _, rate := range o.FaultRates {
+		sched := latencySchedule(rate)
+		silent := int(rate*float64(n) + 0.5)
+		if silent > f {
+			silent = f
+		}
+		cell := root.Derive(fmt.Sprintf("rate-%g", rate))
+		vres := ConsensusLatencyResult{FaultRate: rate, Protocol: "voting", Silent: silent}
+		ares := ConsensusLatencyResult{FaultRate: rate, Protocol: "aba", Silent: silent}
+		for k := 0; k < o.Instances; k++ {
+			w := work[k]
+
+			// Validation-voting: every member scores every proposal; the
+			// latency model charges the synchronous rounds (and the stall
+			// deadline crashed members force on a fixed-quorum collect).
+			vctx := &consensus.Context{
+				Members:   n,
+				Validator: validator(w),
+				Rand:      cell.DeriveN("voting", uint64(k)),
+				Workers:   o.Workers,
+				Round:     k,
+			}
+			_, vst, err := consensus.Voting{}.Agree(vctx, w.proposals)
+			if err != nil {
+				return nil, fmt.Errorf("consensus-latency rate=%v voting instance %d: %w", rate, k, err)
+			}
+			vms := votingLatency(cell.DeriveN("voting-net", uint64(k)), sched, n, silent)
+			accumulate(&vres, 2, vms, vst)
+
+			// ABA: the same workload with the cell's crashed members
+			// injected as missing ballot rows and the rate-scaled schedule
+			// driving the binary instances.
+			set := &consensus.BallotSet{Rows: make([][]bool, n)}
+			crashed := map[int]bool{}
+			for _, m := range cell.DeriveN("crash", uint64(k)).Choice(n, silent) {
+				crashed[m] = true
+			}
+			bctx := &consensus.Context{Members: n, Validator: validator(w)}
+			for m := 0; m < n; m++ {
+				if !crashed[m] {
+					set.Rows[m] = consensus.Ballot(bctx, m, 0, w.proposals)
+				}
+			}
+			actx := &consensus.Context{
+				Members:   n,
+				Validator: validator(w),
+				Rand:      cell.DeriveN("aba", uint64(k)),
+				Workers:   o.Workers,
+				Round:     k,
+				Ballots:   set,
+			}
+			_, ast, err := consensus.ABA{Schedule: &sched}.Agree(actx, w.proposals)
+			if err != nil {
+				return nil, fmt.Errorf("consensus-latency rate=%v aba instance %d: %w", rate, k, err)
+			}
+			accumulate(&ares, float64(2+ast.CoinRounds), ast.VirtualMS, ast)
+			if sameExcluded(vst.Excluded, ast.Excluded) {
+				ares.Matches++
+			}
+		}
+		vres.Matches = o.Instances
+		finishCell(&vres, o.Instances)
+		finishCell(&ares, o.Instances)
+		out = append(out, vres, ares)
+	}
+	return out, nil
+}
+
+func randVec(r *rng.RNG, dim int, scale float64) tensor.Vector {
+	v := tensor.NewVector(dim)
+	for i := range v {
+		v[i] = scale * (2*r.Float64() - 1)
+	}
+	return v
+}
+
+func accumulate(res *ConsensusLatencyResult, rounds, ms float64, st consensus.Stats) {
+	res.MeanRounds += rounds
+	if rounds > res.MaxRounds {
+		res.MaxRounds = rounds
+	}
+	res.MeanMS += ms
+	if ms > res.MaxMS {
+		res.MaxMS = ms
+	}
+	res.MeanMessages += float64(st.Messages)
+	res.MeanExcluded += float64(len(st.Excluded))
+}
+
+func finishCell(res *ConsensusLatencyResult, instances int) {
+	res.MeanRounds /= float64(instances)
+	res.MeanMS /= float64(instances)
+	res.MeanMessages /= float64(instances)
+	res.MeanExcluded /= float64(instances)
+}
+
+func sameExcluded(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsensusLatencyTable renders the agreement-latency matrix.
+func ConsensusLatencyTable(results []ConsensusLatencyResult) metrics.Table {
+	t := metrics.Table{Header: []string{
+		"fault rate", "protocol", "silent", "mean rounds", "max rounds", "mean ms", "max ms", "mean msgs", "mean excluded", "match voting",
+	}}
+	for _, r := range results {
+		t.AddRow(
+			metrics.Pct(r.FaultRate),
+			r.Protocol,
+			fmt.Sprint(r.Silent),
+			fmt.Sprintf("%.2f", r.MeanRounds),
+			fmt.Sprintf("%.0f", r.MaxRounds),
+			fmt.Sprintf("%.1f", r.MeanMS),
+			fmt.Sprintf("%.1f", r.MaxMS),
+			fmt.Sprintf("%.0f", r.MeanMessages),
+			fmt.Sprintf("%.2f", r.MeanExcluded),
+			fmt.Sprintf("%d/%d", r.Matches, countInstances(results)),
+		)
+	}
+	return t
+}
+
+// countInstances recovers the per-cell instance count from the voting rows
+// (whose Matches is trivially the instance count).
+func countInstances(results []ConsensusLatencyResult) int {
+	for _, r := range results {
+		if r.Protocol == "voting" {
+			return r.Matches
+		}
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestConsensusLatencyDeterministic pins the rendered agreement-latency
+// table: same options, same bytes — and the same bytes for every Workers
+// setting, which is what lets results_consensus_latency.txt be committed
+// as a reproducible artifact.
+func TestConsensusLatencyDeterministic(t *testing.T) {
+	opts := ConsensusLatencyOptions{
+		Members: 4, Dim: 8, Instances: 4, Seed: 3,
+		FaultRates: []float64{0, 0.2},
+	}
+	render := func(workers int) string {
+		o := opts
+		o.Workers = workers
+		res, err := RunConsensusLatency(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ConsensusLatencyTable(res).Render()
+	}
+	base := render(1)
+	if base == "" {
+		t.Fatal("empty table")
+	}
+	if again := render(1); again != base {
+		t.Fatalf("rerun diverges:\n%s\nvs\n%s", base, again)
+	}
+	for _, w := range []int{0, 2, 8} {
+		if got := render(w); got != base {
+			t.Fatalf("workers=%d diverges:\n%s\nvs\n%s", w, got, base)
+		}
+	}
+}
+
+// TestConsensusLatencyZeroFaultMatches checks the equivalence column: with
+// no injected faults every instance's ABA exclusion set must equal
+// validation-voting's on the same workload.
+func TestConsensusLatencyZeroFaultMatches(t *testing.T) {
+	res, err := RunConsensusLatency(ConsensusLatencyOptions{
+		Members: 7, Dim: 8, Instances: 6, Seed: 5, FaultRates: []float64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Protocol == "aba" && r.Matches != 6 {
+			t.Fatalf("zero-fault aba matched voting on %d/6 instances", r.Matches)
+		}
+	}
+}

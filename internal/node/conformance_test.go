@@ -136,6 +136,89 @@ func TestNodeClusterMatchesCore(t *testing.T) {
 	}
 }
 
+// TestNodeClusterMatchesCoreABA repeats the distributed≡single-process
+// golden with the randomized common-coin ABA at the top level. This is the
+// path that exercises the wire ballot exchange (KindProposal/KindBallot):
+// the root ships member proposals to the contributing leaders, each leader
+// scores them on its validation shard and answers with its ballot row, and
+// the injected BallotSet must reproduce the core engine's locally computed
+// ballots — and therefore its decisions — byte for byte.
+func TestNodeClusterMatchesCoreABA(t *testing.T) {
+	s := testScenario("")
+	s.TopProtocol = "aba"
+
+	want, err := build(t, s).RunHFL(s.Seed)
+	if err != nil {
+		t.Fatalf("core run: %v", err)
+	}
+
+	got, err := RunCluster(ClusterOpts{
+		Materials:  build(t, s),
+		Seed:       s.Seed,
+		Backend:    BackendLoopback,
+		StallAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	root := got.Root
+
+	sameParams(t, "final params", want.FinalParams, root.FinalParams)
+	for id, r := range got.Results {
+		sameParams(t, "node model", want.FinalParams, r.FinalParams)
+		if r.Stalls != 0 {
+			t.Errorf("node %d: %d stalls on a fault-free run", id, r.Stalls)
+		}
+	}
+	if !reflect.DeepEqual(want.Curve, root.Curve) {
+		t.Errorf("curve: core %+v != node %+v", want.Curve, root.Curve)
+	}
+	if want.FinalAccuracy != root.FinalAccuracy {
+		t.Errorf("final accuracy: %v != %v", want.FinalAccuracy, root.FinalAccuracy)
+	}
+	if want.Comm != root.Comm {
+		t.Errorf("comm: core %+v != node %+v", want.Comm, root.Comm)
+	}
+	if want.ExcludedByConsensus != root.ExcludedByConsensus {
+		t.Errorf("excluded: %d != %d", want.ExcludedByConsensus, root.ExcludedByConsensus)
+	}
+}
+
+// TestLoopbackTCPConformanceABA is the backend golden for the ballot
+// exchange under faults: with drops and duplicates hitting the proposal and
+// ballot frames (they are FaultableKinds), the deterministic fault fates
+// must realize the same silent-member pattern on both backends, so the
+// randomized protocol's outcome — and every node's final model — agrees.
+func TestLoopbackTCPConformanceABA(t *testing.T) {
+	s := testScenario("")
+	s.TopProtocol = "aba"
+	plan := &fault.Plan{Seed: 9, Drop: 0.1, Duplicate: 0.2}
+	run := func(backend string) *ClusterResult {
+		t.Helper()
+		r, err := RunCluster(ClusterOpts{
+			Materials:  build(t, s),
+			Seed:       s.Seed,
+			Backend:    backend,
+			Plan:       plan,
+			StallAfter: 500 * time.Millisecond,
+			GlobalWait: 8 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s run: %v", backend, err)
+		}
+		return r
+	}
+	lb := run(BackendLoopback)
+	tcp := run(BackendTCP)
+
+	if !reflect.DeepEqual(lb.Root, tcp.Root) {
+		t.Errorf("root results diverge:\nloopback: %+v\ntcp:      %+v", lb.Root, tcp.Root)
+	}
+	for id := range lb.Results {
+		sameParams(t, "node model", lb.Results[id].FinalParams, tcp.Results[id].FinalParams)
+	}
+}
+
 // TestLoopbackTCPConformance is the backend golden: the same scenario and
 // seed must produce identical protocol outcomes over in-process channels
 // and over real sockets, under increasingly hostile fault plans. The

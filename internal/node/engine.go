@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"abdhfl/internal/consensus"
 	"abdhfl/internal/core"
 	"abdhfl/internal/nn"
 	"abdhfl/internal/rng"
@@ -299,8 +300,18 @@ func (e *Engine) rootRound(roundRNG *rng.RNG, round int, skip map[int]bool) erro
 		audits = append(audits, sub...)
 	}
 
+	// --- ABA ballot exchange: when the global rule is the randomized
+	// consensus, the root ships each contributing leader the decoded
+	// proposal set and collects their validation ballots before agreeing.
+	var ballots *consensus.BallotSet
+	if core.GlobalNeedsBallots(e.ccfg) && e.tree.Bottom() > 0 {
+		if ballots, err = e.exchangeBallots(round, partials); err != nil {
+			return err
+		}
+	}
+
 	// --- Global aggregation (Algorithm 6).
-	newGlobal, verdict, err := e.wa.AggregateTop(roundRNG, partials, tensor.NewVector(e.dim), round)
+	newGlobal, verdict, err := e.wa.AggregateTopBallots(roundRNG, partials, tensor.NewVector(e.dim), round, ballots)
 	if err != nil {
 		return fmt.Errorf("root: round %d: %w", round, err)
 	}
@@ -357,6 +368,70 @@ func (e *Engine) rootRound(roundRNG *rng.RNG, round int, skip map[int]bool) erro
 	}
 	e.logf("root: round %d done (%d partials)", round, len(got))
 	return nil
+}
+
+// exchangeBallots runs the ABA proposal/ballot wire exchange: the root
+// sends each contributing level-1 leader the full decoded proposal set
+// plus that leader's consensus member index (KindProposal), then collects
+// the leaders' validation ballots (KindBallot). Leaders that never answer
+// — a dropped proposal or ballot under the fault plan — come back as nil
+// rows: silent consensus members the randomized protocol absorbs within
+// its fault budget (and recomputes locally beyond it).
+func (e *Engine) exchangeBallots(round int, partials []tensor.Vector) (*consensus.BallotSet, error) {
+	vecs := make([]tensor.Vector, 0, len(partials))
+	var leaders []int
+	for ci, p := range partials {
+		if p != nil {
+			vecs = append(vecs, p)
+			leaders = append(leaders, e.tree.Clusters[1][ci].Leader)
+		}
+	}
+	if len(vecs) == 0 {
+		return nil, nil
+	}
+	expect := make(map[transport.NodeID]bool, len(leaders))
+	for m, ld := range leaders {
+		if err := e.send(KindProposal, ld, round, encodeProposals(m, vecs)); err != nil {
+			return nil, err
+		}
+		expect[transport.NodeID(ld)] = true
+	}
+	got, err := e.collect(KindBallot, round, expect, 2*e.stall)
+	if err != nil {
+		return nil, err
+	}
+	set := &consensus.BallotSet{Rows: make([][]bool, len(vecs))}
+	for m, ld := range leaders {
+		raw, ok := got[transport.NodeID(ld)]
+		if !ok {
+			continue
+		}
+		member, bits, err := decodeBallot(raw)
+		if err != nil {
+			return nil, fmt.Errorf("root: round %d ballot from %d: %w", round, ld, err)
+		}
+		if member != m || len(bits) != len(vecs) {
+			return nil, fmt.Errorf("root: round %d ballot from %d: member %d want %d, %d bits for %d proposals", round, ld, member, m, len(bits), len(vecs))
+		}
+		set.Rows[m] = bits
+	}
+	return set, nil
+}
+
+// answerProposal serves one ballot-exchange proposal: the leader computes
+// its validation ballot over the root's proposal set (the exact decoded
+// vectors the root holds, so the bits match a central computation) and
+// ships it back.
+func (e *Engine) answerProposal(f transport.Frame) error {
+	if e.wa == nil {
+		return fmt.Errorf("node %d: round %d proposal sent to a non-leader", e.id, f.Round)
+	}
+	member, proposals, err := decodeProposals(f.Payload)
+	if err != nil {
+		return fmt.Errorf("node %d: round %d proposal: %w", e.id, f.Round, err)
+	}
+	bits := e.wa.ShardBallot(member, proposals)
+	return e.send(KindBallot, int(RootID(e.tree)), int(f.Round), encodeBallot(member, bits))
 }
 
 // send ships one protocol frame.
@@ -425,8 +500,18 @@ func (e *Engine) accept(f transport.Frame, kind uint8, round int, waiting map[tr
 	e.stash(f)
 }
 
-// awaitGlobal blocks until the round's disseminated global model arrives.
+// awaitGlobal blocks until the round's disseminated global model arrives,
+// serving any ballot-exchange proposals that land (or were buffered) in
+// the meantime — a level-1 leader is always parked here when the root's
+// KindProposal arrives.
 func (e *Engine) awaitGlobal(round int) ([]byte, error) {
+	pkey := pendKey{KindProposal, uint32(round)}
+	for _, f := range e.pending[pkey] {
+		if err := e.answerProposal(f); err != nil {
+			return nil, err
+		}
+	}
+	delete(e.pending, pkey)
 	key := pendKey{KindGlobal, uint32(round)}
 	if fs := e.pending[key]; len(fs) > 0 {
 		payload := fs[0].Payload
@@ -445,6 +530,12 @@ func (e *Engine) awaitGlobal(round int) ([]byte, error) {
 			timer.Stop()
 			if f.Kind == KindGlobal && int(f.Round) == round {
 				return f.Payload, nil
+			}
+			if f.Kind == KindProposal && int(f.Round) == round {
+				if err := e.answerProposal(f); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			e.stash(f)
 		case <-e.busDone:

@@ -48,15 +48,21 @@ import (
 // carries a partial model plus the filter audits accumulated in the
 // sender's subtree.
 const (
-	KindUpdate  uint8 = 1 // device → bottom-cluster leader
-	KindPartial uint8 = 2 // leader → parent leader or root
-	KindGlobal  uint8 = 3 // root → top members, relayed down the tree
+	KindUpdate   uint8 = 1 // device → bottom-cluster leader
+	KindPartial  uint8 = 2 // leader → parent leader or root
+	KindGlobal   uint8 = 3 // root → top members, relayed down the tree
+	KindProposal uint8 = 4 // root → contributing level-1 leaders (ABA ballot exchange)
+	KindBallot   uint8 = 5 // leader → root (ABA ballot exchange)
 )
 
 // FaultableKinds lists the frame kinds transport fault plans apply to: the
-// upward path the quorum machinery protects. Pass to
+// upward path the quorum machinery protects, plus the ABA ballot exchange
+// (a dropped proposal or ballot realizes a silent consensus member — the
+// fault the randomized protocol absorbs within its f-budget). Pass to
 // transport.Config.FaultKinds.
-func FaultableKinds() []uint8 { return []uint8{KindUpdate, KindPartial} }
+func FaultableKinds() []uint8 {
+	return []uint8{KindUpdate, KindPartial, KindProposal, KindBallot}
+}
 
 // RootID is the root's node id: one past the device ids, which run
 // 0..NumDevices-1.
@@ -171,6 +177,11 @@ func New(cfg Config) (*Engine, error) {
 	gwait := cfg.GlobalWait
 	if gwait <= 0 {
 		gwait = time.Duration(tree.Depth()+2) * stall
+		if core.GlobalNeedsBallots(ccfg) {
+			// The ballot exchange adds one request/response hop at the root
+			// before the global can form.
+			gwait += 2 * stall
+		}
 	}
 	workers := ccfg.Workers
 	if workers <= 0 {
@@ -217,7 +228,7 @@ func New(cfg Config) (*Engine, error) {
 	// One queue for all kinds: the engine is single-threaded, and the
 	// pending buffer re-sorts out-of-phase frames. Capacity covers a full
 	// round of traffic from every peer with room for fault duplicates.
-	e.q = cfg.Endpoint.Bus().Subscribe(4*(devices+1)+16, KindUpdate, KindPartial, KindGlobal)
+	e.q = cfg.Endpoint.Bus().Subscribe(4*(devices+1)+16, KindUpdate, KindPartial, KindGlobal, KindProposal, KindBallot)
 	e.busDone = cfg.Endpoint.Bus().Done()
 	return e, nil
 }

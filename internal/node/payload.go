@@ -83,6 +83,91 @@ func encodePartial(model []byte, audits []WireAudit) ([]byte, error) {
 	return out, nil
 }
 
+// ABA ballot-exchange wire formats. Proposals ship as raw little-endian
+// float64s with NO codec hop: the root sends each contributing leader the
+// exact decoded vectors it holds, so the leader's validation scores — and
+// therefore its ballot bits — are bit-identical to what the root (or
+// RunHFL) would compute centrally. A codec hop here would let quantization
+// noise diverge the distributed ballots from the core engine's.
+
+// encodeProposals frames a KindProposal payload: the receiver's consensus
+// member index plus every contributing proposal in member order.
+// Layout: [u32 member][u32 count][u32 dim][count×dim×f64 LE].
+func encodeProposals(member int, proposals []tensor.Vector) []byte {
+	dim := 0
+	if len(proposals) > 0 {
+		dim = len(proposals[0])
+	}
+	out := make([]byte, 12+8*len(proposals)*dim)
+	binary.LittleEndian.PutUint32(out, uint32(member))
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(proposals)))
+	binary.LittleEndian.PutUint32(out[8:], uint32(dim))
+	off := 12
+	for _, p := range proposals {
+		for _, x := range p {
+			binary.LittleEndian.PutUint64(out[off:], math.Float64bits(x))
+			off += 8
+		}
+	}
+	return out
+}
+
+// decodeProposals parses a KindProposal payload.
+func decodeProposals(raw []byte) (member int, proposals []tensor.Vector, err error) {
+	if len(raw) < 12 {
+		return 0, nil, fmt.Errorf("node: proposal message truncated (%d bytes)", len(raw))
+	}
+	member = int(binary.LittleEndian.Uint32(raw))
+	count := int(binary.LittleEndian.Uint32(raw[4:]))
+	dim := int(binary.LittleEndian.Uint32(raw[8:]))
+	if count < 0 || dim < 0 || len(raw) != 12+8*count*dim {
+		return 0, nil, fmt.Errorf("node: proposal message is %d bytes, want %d", len(raw), 12+8*count*dim)
+	}
+	proposals = make([]tensor.Vector, count)
+	off := 12
+	for i := range proposals {
+		v := tensor.NewVector(dim)
+		for j := range v {
+			v[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			off += 8
+		}
+		proposals[i] = v
+	}
+	return member, proposals, nil
+}
+
+// encodeBallot frames a KindBallot payload: the sender's consensus member
+// index plus its validation-voting bits over the proposals.
+// Layout: [u32 member][u32 nbits][nbits×u8].
+func encodeBallot(member int, bits []bool) []byte {
+	out := make([]byte, 8+len(bits))
+	binary.LittleEndian.PutUint32(out, uint32(member))
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(bits)))
+	for i, b := range bits {
+		if b {
+			out[8+i] = 1
+		}
+	}
+	return out
+}
+
+// decodeBallot parses a KindBallot payload.
+func decodeBallot(raw []byte) (member int, bits []bool, err error) {
+	if len(raw) < 8 {
+		return 0, nil, fmt.Errorf("node: ballot message truncated (%d bytes)", len(raw))
+	}
+	member = int(binary.LittleEndian.Uint32(raw))
+	n := int(binary.LittleEndian.Uint32(raw[4:]))
+	if n < 0 || len(raw) != 8+n {
+		return 0, nil, fmt.Errorf("node: ballot message is %d bytes, want %d", len(raw), 8+n)
+	}
+	bits = make([]bool, n)
+	for i := range bits {
+		bits[i] = raw[8+i] != 0
+	}
+	return member, bits, nil
+}
+
 // decodePartial splits a partial message into its model payload and
 // audits. The model bytes alias raw.
 func decodePartial(raw []byte) (model []byte, audits []WireAudit, err error) {

@@ -147,11 +147,14 @@ type Config struct {
 	Local  nn.TrainConfig
 	Hidden []int
 
-	// PartialBRA aggregates intermediate clusters. TopVoting selects the
-	// validation-voting consensus at the top; otherwise TopBRA is used.
+	// PartialBRA aggregates intermediate clusters. TopCBA (any registered
+	// consensus protocol, e.g. the randomized "aba") or TopVoting selects a
+	// consensus at the top; otherwise TopBRA is used. TopCBA wins when both
+	// consensus fields are set.
 	PartialBRA aggregate.Aggregator
 	TopBRA     aggregate.Aggregator
 	TopVoting  *consensus.Voting
+	TopCBA     consensus.Protocol
 
 	ClientData       []*dataset.Dataset
 	TestData         *dataset.Dataset
@@ -240,14 +243,14 @@ func (c *Config) Validate() error {
 	if c.PartialBRA == nil {
 		return errors.New("pipeline: PartialBRA is nil")
 	}
-	if c.TopVoting == nil && c.TopBRA == nil {
-		return errors.New("pipeline: set TopBRA or TopVoting")
+	if c.TopVoting == nil && c.TopBRA == nil && c.TopCBA == nil {
+		return errors.New("pipeline: set TopBRA, TopVoting, or TopCBA")
 	}
-	if c.TopVoting != nil {
+	if c.TopVoting != nil || c.TopCBA != nil {
 		if len(c.ValidationShards) == 0 {
 			// The shard validator indexes member % len(ValidationShards); an
 			// empty slice would be a mod-by-zero panic mid-simulation.
-			return errors.New("pipeline: TopVoting requires at least one ValidationShard")
+			return errors.New("pipeline: top consensus requires at least one ValidationShard")
 		}
 		for i, s := range c.ValidationShards {
 			if s == nil || s.Len() == 0 {

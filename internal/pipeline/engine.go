@@ -614,19 +614,24 @@ func (t *topActor) formGlobal(ctx *simnet.Context, round int, vecs []tensor.Vect
 	var err error
 	kept, filtered := len(vecs), 0
 	rule := ""
-	if e.cfg.TopVoting != nil {
+	proto := e.cfg.TopCBA
+	if proto == nil && e.cfg.TopVoting != nil {
+		proto = *e.cfg.TopVoting
+	}
+	if proto != nil {
 		cctx := &consensus.Context{
 			Members:   len(vecs),
 			Validator: e.shardValidator(),
 			Rand:      e.root.Derive(fmt.Sprintf("vote-%d", round)),
 			Workers:   e.workers,
+			Round:     round,
 		}
 		var st consensus.Stats
-		global, st, err = e.cfg.TopVoting.Agree(cctx, vecs)
+		global, st, err = proto.Agree(cctx, vecs)
 		if err == nil {
-			rule = e.cfg.TopVoting.Name()
+			rule = proto.Name()
 			kept, filtered = len(vecs)-len(st.Excluded), len(st.Excluded)
-			e.fe.emitConsensus(0, 0, round, ids, e.cfg.TopVoting.Name(), st)
+			e.fe.emitConsensus(0, 0, round, ids, proto.Name(), st)
 		}
 	} else {
 		global = tensor.NewVector(len(vecs[0]))

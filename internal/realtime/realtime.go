@@ -67,6 +67,9 @@ type Config struct {
 	PartialBRA aggregate.Aggregator
 	TopVoting  *consensus.Voting
 	TopBRA     aggregate.Aggregator
+	// TopCBA selects any registered consensus protocol at the top (e.g. the
+	// randomized "aba"); it wins over TopVoting when both are set.
+	TopCBA consensus.Protocol
 
 	ClientData       []*dataset.Dataset
 	TestData         *dataset.Dataset
@@ -132,11 +135,11 @@ func (c *Config) Validate() error {
 	if c.PartialBRA == nil {
 		return errors.New("realtime: PartialBRA is nil")
 	}
-	if c.TopVoting == nil && c.TopBRA == nil {
-		return errors.New("realtime: set TopBRA or TopVoting")
+	if c.TopVoting == nil && c.TopBRA == nil && c.TopCBA == nil {
+		return errors.New("realtime: set TopBRA, TopVoting, or TopCBA")
 	}
-	if c.TopVoting != nil && len(c.ValidationShards) == 0 {
-		return errors.New("realtime: TopVoting requires ValidationShards")
+	if (c.TopVoting != nil || c.TopCBA != nil) && len(c.ValidationShards) == 0 {
+		return errors.New("realtime: top consensus requires ValidationShards")
 	}
 	if c.Faults.Enabled() && c.CollectTimeout <= 0 {
 		// Liveness: channels cannot time out on their own, so every injected
@@ -813,17 +816,22 @@ func Run(cfg Config) (*Result, error) {
 			var err error
 			kept, filtered := len(vecs), 0
 			rule := ""
-			if cfg.TopVoting != nil {
+			proto := cfg.TopCBA
+			if proto == nil && cfg.TopVoting != nil {
+				proto = *cfg.TopVoting
+			}
+			if proto != nil {
 				cctx := &consensus.Context{
 					Members:   len(vecs),
 					Validator: validator,
 					Rand:      root.Derive(fmt.Sprintf("vote-%d", r)),
+					Round:     r,
 				}
 				var st consensus.Stats
-				global, st, err = cfg.TopVoting.Agree(cctx, vecs)
+				global, st, err = proto.Agree(cctx, vecs)
 				if err == nil {
 					ins.consensusStats(len(vecs), st)
-					rule = cfg.TopVoting.Name()
+					rule = proto.Name()
 					kept, filtered = len(vecs)-len(st.Excluded), len(st.Excluded)
 				}
 			} else {

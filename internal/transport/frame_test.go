@@ -19,6 +19,15 @@ func sampleFrames() []Frame {
 		{Kind: 2, From: 3, To: 6, Round: 7, Seq: 42, Sent: -1, Payload: bytes.Repeat([]byte{0xAB}, 1024)},
 		{Kind: 3, From: 6, To: 0, Round: math.MaxUint32, Seq: math.MaxUint64, Sent: math.MaxInt64},
 		{Kind: 0, From: -1, To: -1}, // negative ids survive the uint32 wire trip
+		// ABA ballot-exchange kinds (node.KindProposal/KindBallot): a proposal
+		// header (member, count, dim) and a short ballot (member, bits).
+		{Kind: 4, From: 9, To: 2, Round: 3, Seq: 77, Sent: 12345, Payload: []byte{
+			1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0,
+			0, 0, 0, 0, 0, 0, 0xF0, 0x3F, 0, 0, 0, 0, 0, 0, 0, 0x40,
+		}},
+		{Kind: 5, From: 2, To: 9, Round: 3, Seq: 78, Sent: 12346, Payload: []byte{
+			1, 0, 0, 0, 3, 0, 0, 0, 1, 0, 1,
+		}},
 	}
 }
 
